@@ -1,0 +1,123 @@
+// Command figures regenerates the data behind every table and figure of
+// the paper's evaluation. By default it runs everything at full scale and
+// prints text tables to stdout; -csv additionally dumps raw training traces
+// for external plotting.
+//
+// Usage:
+//
+//	figures                 # all figures, full scale
+//	figures -fig 9          # only Figure 9
+//	figures -table 1        # only Table 1
+//	figures -quick          # reduced sizes (smoke test)
+//	figures -csv out/       # also write trace CSVs into out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate only this figure number (0 = all)")
+	table := flag.Int("table", 0, "regenerate only this table number (0 = all)")
+	quick := flag.Bool("quick", false, "use reduced experiment sizes")
+	csvDir := flag.String("csv", "", "directory to write trace CSVs into")
+	flag.Parse()
+
+	scale := experiments.ScaleFull
+	if *quick {
+		scale = experiments.ScaleQuick
+	}
+	out := os.Stdout
+	all := *fig == 0 && *table == 0
+
+	dump := func(name string, cmp *experiments.Comparison) {
+		cmp.Print(out)
+		fmt.Fprintln(out)
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		var traces []*metrics.Trace
+		for _, n := range cmp.Order {
+			traces = append(traces, cmp.Traces[n])
+		}
+		if err := metrics.WriteCSV(f, traces...); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if all || *fig == 1 {
+		dump("fig1", experiments.RunComparison(experiments.Fig1Spec(scale)))
+	}
+	if all || *fig == 4 {
+		experiments.PrintFig4(out, experiments.Fig4())
+		fmt.Fprintln(out)
+	}
+	if all || *fig == 5 {
+		trials := 200000
+		if scale == experiments.ScaleQuick {
+			trials = 20000
+		}
+		experiments.PrintFig5(out, experiments.Fig5(trials, 1))
+		fmt.Fprintln(out)
+	}
+	if all || *fig == 6 {
+		experiments.PrintFig6(out, experiments.Fig6(200))
+		fmt.Fprintln(out)
+	}
+	if all || *fig == 7 {
+		experiments.PrintFig7(out, experiments.Fig7(experiments.Fig6Constants(), 60, 10, 64))
+		fmt.Fprintln(out)
+	}
+	if all || *fig == 8 {
+		experiments.PrintFig8(out, experiments.Fig8(4, 2))
+		fmt.Fprintln(out)
+	}
+	if all || *fig == 9 {
+		dump("fig9a", experiments.RunComparison(experiments.Fig9Spec(10, true, scale)))
+		dump("fig9b", experiments.RunComparison(experiments.Fig9Spec(10, false, scale)))
+		dump("fig9c", experiments.RunComparison(experiments.Fig9Spec(100, false, scale)))
+	}
+	if all || *fig == 10 {
+		dump("fig10a", experiments.RunComparison(experiments.Fig10Spec(10, true, scale)))
+		dump("fig10b", experiments.RunComparison(experiments.Fig10Spec(10, false, scale)))
+		dump("fig10c", experiments.RunComparison(experiments.Fig10Spec(100, false, scale)))
+	}
+	if all || *fig == 11 {
+		dump("fig11a", experiments.RunComparison(experiments.Fig11Spec(experiments.ArchResNet, 10, scale)))
+		dump("fig11b", experiments.RunComparison(experiments.Fig11Spec(experiments.ArchVGG, 10, scale)))
+		dump("fig11c", experiments.RunComparison(experiments.Fig11Spec(experiments.ArchResNet, 100, scale)))
+	}
+	if all || *fig == 12 {
+		dump("fig12a", experiments.RunComparison(experiments.Fig12Spec(10, true, scale)))
+		dump("fig12b", experiments.RunComparison(experiments.Fig12Spec(100, false, scale)))
+	}
+	if all || *fig == 13 {
+		dump("fig13a", experiments.RunComparison(experiments.Fig13Spec(10, true, scale)))
+		dump("fig13b", experiments.RunComparison(experiments.Fig13Spec(100, false, scale)))
+	}
+	if all || *fig == 14 {
+		experiments.PrintFig14(out, experiments.Fig14(scale, 5))
+		fmt.Fprintln(out)
+	}
+	if all || *table == 1 {
+		experiments.PrintTable1(out, experiments.Table1(scale))
+		fmt.Fprintln(out)
+	}
+}

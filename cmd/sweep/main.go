@@ -1,0 +1,64 @@
+// Command sweep runs the ablation grids called out in DESIGN.md Sec 4:
+// the tau grid search (how tau_0 is picked), the gamma saturation-decay
+// ablation, the LR-coupling-rule ablation (eq 19 vs eq 20), the interval
+// length T0 sensitivity, and the delay-distribution straggler ablation.
+//
+// Usage:
+//
+//	sweep -ablation tau0     # grid over fixed tau
+//	sweep -ablation gamma    # gamma in {1, 0.5, 0.25}
+//	sweep -ablation coupling # none vs sqrt vs full under LR decay
+//	sweep -ablation t0       # interval length sensitivity
+//	sweep -ablation delay    # constant vs exponential vs Pareto Y
+//	sweep -ablation all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | all")
+	quick := flag.Bool("quick", false, "use reduced sizes")
+	flag.Parse()
+
+	scale := experiments.ScaleFull
+	if *quick {
+		scale = experiments.ScaleQuick
+	}
+	all := *which == "all"
+	out := os.Stdout
+
+	if all || *which == "tau0" {
+		experiments.PrintTauGrid(out, experiments.TauGridAblation(scale))
+		fmt.Fprintln(out)
+	}
+	if all || *which == "gamma" {
+		experiments.PrintGammaAblation(out, experiments.GammaAblation(scale))
+		fmt.Fprintln(out)
+	}
+	if all || *which == "coupling" {
+		experiments.PrintCouplingAblation(out, experiments.CouplingAblation(scale))
+		fmt.Fprintln(out)
+	}
+	if all || *which == "t0" {
+		experiments.PrintIntervalAblation(out, experiments.IntervalAblation(scale))
+		fmt.Fprintln(out)
+	}
+	if all || *which == "strategy" {
+		experiments.PrintStrategyAblation(out, experiments.StrategyAblation(scale))
+		fmt.Fprintln(out)
+	}
+	if all || *which == "adasync" {
+		experiments.PrintAdaSync(out, experiments.AdaSyncExperiment(scale))
+		fmt.Fprintln(out)
+	}
+	if all || *which == "delay" {
+		experiments.PrintDelayAblation(out, experiments.DelayAblation(scale))
+		fmt.Fprintln(out)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Adaptive
+// Communication Strategies to Achieve the Best Error-Runtime Trade-off in
+// Local-Update SGD" (Wang & Joshi, MLSYS 2019).
+//
+// The implementation lives under internal/: the ADACOMM controller in
+// internal/core, the PASGD engine in internal/cluster, the runtime model in
+// internal/delaymodel, the theory in internal/bound, and the hand-rolled
+// training stack in internal/{tensor,nn,sgd,data,rng}. Executables are
+// under cmd/, runnable examples under examples/, and every figure and table
+// of the paper's evaluation regenerates via cmd/figures or the benchmark
+// harness in bench_test.go at this directory.
+package repro

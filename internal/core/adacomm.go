@@ -1,0 +1,275 @@
+// Package core implements ADACOMM, the paper's contribution: an adaptive
+// communication-period controller for periodic-averaging SGD. Training is
+// divided into wall-clock intervals of length T0; at each interval boundary
+// the controller re-chooses the communication period tau from the current
+// training loss via the update rules of Sec 4:
+//
+//	basic rule (eq 17):   tau_l = ceil( sqrt(F(x_l)/F(x_0)) * tau_0 )
+//	saturation  (eq 18):  if the rule does not strictly decrease tau,
+//	                      multiply the previous tau by gamma < 1 instead
+//	LR coupling (eq 20):  tau_l = ceil( sqrt(eta_0/eta_l * F_l/F_0) * tau_0 )
+//	full coupling (eq 19): exponent 3/2 on eta_0/eta_l — the variant the
+//	                      paper reports as divergence-prone, kept for the
+//	                      ablation benches
+//
+// plus the Sec 4.3.2 policy of deferring scheduled learning-rate decays
+// until tau has decayed to 1, and a tau_0 grid-search helper mirroring the
+// paper's "trial runs for one or two epochs".
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bound"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sgd"
+)
+
+// Coupling selects how the learning rate enters the tau update rule.
+type Coupling int
+
+const (
+	// NoCoupling uses the basic rule (eq 17): tau depends on loss only.
+	NoCoupling Coupling = iota
+	// SqrtCoupling is rule (20): tau scales with sqrt(eta0/eta_l), derived
+	// under the eta*L ~= 1 approximation. This is the rule the paper
+	// actually runs.
+	SqrtCoupling
+	// FullCoupling is rule (19): tau scales with (eta0/eta_l)^{3/2}. After
+	// a 10x LR decay this inflates tau ~31x, which the paper observed to
+	// push tau to ~1000 and diverge; included for the ablation.
+	FullCoupling
+)
+
+// String returns the rule's name.
+func (c Coupling) String() string {
+	switch c {
+	case NoCoupling:
+		return "none"
+	case SqrtCoupling:
+		return "sqrt"
+	case FullCoupling:
+		return "full"
+	}
+	return fmt.Sprintf("coupling(%d)", int(c))
+}
+
+// Config parameterizes the AdaComm controller.
+type Config struct {
+	Tau0     int          // initial communication period (from grid search)
+	Interval float64      // T0, the wall-clock interval between adaptations
+	Gamma    float64      // saturation decay factor (paper uses 1/2)
+	Slack    int          // slack s in the saturation condition (default 0)
+	Schedule sgd.Schedule // learning-rate schedule, indexed by epoch
+	Coupling Coupling     // how eta enters the tau rule
+	// DeferLRDecay holds back scheduled LR decays while tau > 1
+	// (Sec 4.3.2: "first decay the communication period to 1, then decay
+	// the learning rate as usual").
+	DeferLRDecay bool
+	// MinTau floors the adapted period (default 1).
+	MinTau int
+	// MaxTau caps the adapted period to guard rule (19)'s blow-ups
+	// (0 = uncapped).
+	MaxTau int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gamma <= 0 || c.Gamma >= 1 {
+		c.Gamma = 0.5
+	}
+	if c.MinTau < 1 {
+		c.MinTau = 1
+	}
+	if c.Schedule == nil {
+		c.Schedule = sgd.Const{Eta: 0.1}
+	}
+	return c
+}
+
+// AdaComm is the adaptive communication controller (implements
+// cluster.Controller). It is stateful and must not be reused across runs.
+type AdaComm struct {
+	cfg Config
+
+	initialized  bool
+	f0           float64 // F(x_{t=0})
+	eta0         float64
+	nextBoundary float64
+	curTau       int
+	curLR        float64
+}
+
+// NewAdaComm builds the controller.
+func NewAdaComm(cfg Config) *AdaComm {
+	cfg = cfg.withDefaults()
+	if cfg.Tau0 < 1 {
+		panic("core: AdaComm needs Tau0 >= 1")
+	}
+	if cfg.Interval <= 0 {
+		panic("core: AdaComm needs a positive interval T0")
+	}
+	return &AdaComm{cfg: cfg}
+}
+
+// Name implements cluster.Controller.
+func (a *AdaComm) Name() string { return "AdaComm" }
+
+// Tau returns the communication period currently in effect.
+func (a *AdaComm) Tau() int { return a.curTau }
+
+// NextRound implements cluster.Controller.
+func (a *AdaComm) NextRound(info cluster.RoundInfo, evalLoss func() float64) (int, float64) {
+	if !a.initialized {
+		a.f0 = evalLoss()
+		if a.f0 <= 0 {
+			// Degenerate start (already at zero loss): communicate every
+			// iteration, nothing to save.
+			a.f0 = math.SmallestNonzeroFloat64
+		}
+		a.eta0 = a.cfg.Schedule.LR(0)
+		a.curTau = a.cfg.Tau0
+		a.curLR = a.eta0
+		a.nextBoundary = a.cfg.Interval
+		a.initialized = true
+		return a.curTau, a.curLR
+	}
+
+	if info.Time >= a.nextBoundary {
+		a.adapt(info, evalLoss)
+		for a.nextBoundary <= info.Time {
+			a.nextBoundary += a.cfg.Interval
+		}
+	}
+	return a.curTau, a.curLR
+}
+
+// adapt recomputes tau (and the learning rate) at an interval boundary.
+func (a *AdaComm) adapt(info cluster.RoundInfo, evalLoss func() float64) {
+	f := evalLoss()
+	if f < 0 {
+		f = 0
+	}
+
+	// Learning-rate scheduling with the optional deferral policy.
+	scheduled := a.cfg.Schedule.LR(info.Epoch)
+	lr := a.curLR
+	if scheduled < a.curLR {
+		// A decay milestone has passed. Apply it only if tau has already
+		// decayed to 1 (or deferral is off).
+		if !a.cfg.DeferLRDecay || a.curTau <= 1 {
+			lr = scheduled
+		}
+	} else if scheduled > a.curLR {
+		lr = scheduled // schedules that increase (e.g. warmup) pass through
+	}
+
+	// Communication-period update rule.
+	ratio := f / a.f0
+	if ratio < 0 {
+		ratio = 0
+	}
+	etaFactor := 1.0
+	switch a.cfg.Coupling {
+	case SqrtCoupling:
+		etaFactor = a.eta0 / lr // under sqrt: tau ~ sqrt(eta0/eta)
+	case FullCoupling:
+		etaFactor = math.Pow(a.eta0/lr, 3)
+	}
+	proposed := int(math.Ceil(math.Sqrt(etaFactor*ratio) * float64(a.cfg.Tau0)))
+	if proposed < a.cfg.MinTau {
+		proposed = a.cfg.MinTau
+	}
+
+	if proposed+a.cfg.Slack < a.curTau {
+		a.curTau = proposed
+	} else {
+		// Saturation: force multiplicative decay (eq 18).
+		decayed := int(math.Ceil(a.cfg.Gamma * float64(a.curTau)))
+		if decayed >= a.curTau && a.curTau > a.cfg.MinTau {
+			decayed = a.curTau - 1
+		}
+		if decayed < a.cfg.MinTau {
+			decayed = a.cfg.MinTau
+		}
+		// Rule (19)/(20) can legitimately *raise* tau right after an LR
+		// decay; allow that only when the LR actually changed this
+		// interval, otherwise enforce monotone decay.
+		if lr < a.curLR && proposed > a.curTau {
+			a.curTau = proposed
+		} else {
+			a.curTau = decayed
+		}
+	}
+	if a.cfg.MaxTau > 0 && a.curTau > a.cfg.MaxTau {
+		a.curTau = a.cfg.MaxTau
+	}
+	a.curLR = lr
+}
+
+// OracleTau is the theory-driven controller used for ablation: it evaluates
+// Theorem 2's tau* (eq 14/16) exactly at each interval boundary using
+// calibrated constants, instead of the practical ratio rule. It quantifies
+// how much is lost by not knowing L and sigma^2.
+type OracleTau struct {
+	Consts   bound.Constants // F1 is overwritten by the live loss
+	Interval float64
+	Schedule sgd.Schedule
+
+	initialized  bool
+	nextBoundary float64
+	curTau       int
+}
+
+// Name implements cluster.Controller.
+func (o *OracleTau) Name() string { return "OracleTau" }
+
+// NextRound implements cluster.Controller.
+func (o *OracleTau) NextRound(info cluster.RoundInfo, evalLoss func() float64) (int, float64) {
+	if o.Schedule == nil {
+		o.Schedule = sgd.Const{Eta: o.Consts.Eta}
+	}
+	lr := o.Schedule.LR(info.Epoch)
+	if !o.initialized || info.Time >= o.nextBoundary {
+		c := o.Consts
+		c.F1 = evalLoss()
+		c.Eta = lr
+		if c.F1 < c.Finf {
+			c.F1 = c.Finf
+		}
+		tau := c.OptimalTauInt(o.Interval)
+		if tau > 10000 {
+			tau = 10000
+		}
+		o.curTau = tau
+		if !o.initialized {
+			o.nextBoundary = 0
+			o.initialized = true
+		}
+		for o.nextBoundary <= info.Time {
+			o.nextBoundary += o.Interval
+		}
+	}
+	return o.curTau, lr
+}
+
+// GridSearchTau0 mirrors the paper's tau_0 selection: run a short probe for
+// each candidate period and keep the one with the lowest final training
+// loss. run must execute a fresh short training run (e.g. one or two
+// simulated epochs) with the given fixed tau and return its trace.
+func GridSearchTau0(candidates []int, run func(tau int) *metrics.Trace) int {
+	if len(candidates) == 0 {
+		panic("core: GridSearchTau0 needs candidates")
+	}
+	best := candidates[0]
+	bestLoss := math.Inf(1)
+	for _, tau := range candidates {
+		trace := run(tau)
+		if l := trace.FinalLoss(); l < bestLoss {
+			bestLoss = l
+			best = tau
+		}
+	}
+	return best
+}

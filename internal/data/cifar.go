@@ -1,0 +1,151 @@
+package data
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/tensor"
+)
+
+// CIFAR-10 binary-format loader. The reproduction itself runs on synthetic
+// data (the module is offline), but a downstream user with the real
+// dataset (https://www.cs.toronto.edu/~kriz/cifar.html, "binary version")
+// can train on it directly. The format is a concatenation of records:
+//
+//	1 byte label (0-9) followed by 3072 bytes of pixels
+//	(1024 red, 1024 green, 1024 blue; row-major 32x32)
+//
+// which maps directly onto this package's channel-major ImageShape layout.
+
+// CIFAR10Shape is the canonical CIFAR-10 image shape.
+var CIFAR10Shape = ImageShape{Channels: 3, Height: 32, Width: 32}
+
+const (
+	cifarRecordLen = 1 + 3*32*32
+	cifarClasses   = 10
+)
+
+// ReadCIFAR10 parses CIFAR-10 binary records from r until EOF. Pixels are
+// scaled to [0, 1] and per-image mean-centered (a cheap stand-in for the
+// usual per-channel normalization that needs dataset statistics).
+func ReadCIFAR10(r io.Reader) (*Dataset, error) {
+	var rows [][]float64
+	var labels []int
+	buf := make([]byte, cifarRecordLen)
+	for {
+		_, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("data: truncated CIFAR-10 record %d", len(rows))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CIFAR-10: %w", err)
+		}
+		label := int(buf[0])
+		if label >= cifarClasses {
+			return nil, fmt.Errorf("data: CIFAR-10 label %d out of range in record %d", label, len(rows))
+		}
+		px := make([]float64, 3*32*32)
+		mean := 0.0
+		for i := 0; i < len(px); i++ {
+			v := float64(buf[1+i]) / 255
+			px[i] = v
+			mean += v
+		}
+		mean /= float64(len(px))
+		for i := range px {
+			px[i] -= mean
+		}
+		rows = append(rows, px)
+		labels = append(labels, label)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("data: empty CIFAR-10 stream")
+	}
+	ds := &Dataset{
+		Task:    Classification,
+		X:       tensor.NewMatrix(len(rows), CIFAR10Shape.Len()),
+		Y:       labels,
+		Classes: cifarClasses,
+		Shape:   CIFAR10Shape,
+	}
+	for i, row := range rows {
+		copy(ds.X.Row(i), row)
+	}
+	return ds, nil
+}
+
+// LoadCIFAR10 reads the five standard training batches and the test batch
+// from dir (data_batch_1.bin .. data_batch_5.bin, test_batch.bin).
+func LoadCIFAR10(dir string) (train, test *Dataset, err error) {
+	var parts []*Dataset
+	for i := 1; i <= 5; i++ {
+		ds, err := loadCIFARFile(filepath.Join(dir, fmt.Sprintf("data_batch_%d.bin", i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		parts = append(parts, ds)
+	}
+	train = ConcatDatasets(parts...)
+	test, err = loadCIFARFile(filepath.Join(dir, "test_batch.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+func loadCIFARFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	return ReadCIFAR10(f)
+}
+
+// ConcatDatasets concatenates datasets with identical schema. Panics on a
+// schema mismatch or empty input.
+func ConcatDatasets(parts ...*Dataset) *Dataset {
+	if len(parts) == 0 {
+		panic("data: ConcatDatasets of nothing")
+	}
+	first := parts[0]
+	total := 0
+	for _, p := range parts {
+		if p.Task != first.Task || p.Classes != first.Classes ||
+			p.Shape != first.Shape || p.X.Cols != first.X.Cols {
+			panic("data: ConcatDatasets schema mismatch")
+		}
+		total += p.N()
+	}
+	out := &Dataset{
+		Task:    first.Task,
+		X:       tensor.NewMatrix(total, first.X.Cols),
+		Classes: first.Classes,
+		Shape:   first.Shape,
+	}
+	if first.Y != nil {
+		out.Y = make([]int, 0, total)
+	}
+	if first.T != nil {
+		out.T = make([]float64, 0, total)
+	}
+	row := 0
+	for _, p := range parts {
+		for i := 0; i < p.N(); i++ {
+			copy(out.X.Row(row), p.X.Row(i))
+			row++
+		}
+		if p.Y != nil {
+			out.Y = append(out.Y, p.Y...)
+		}
+		if p.T != nil {
+			out.T = append(out.T, p.T...)
+		}
+	}
+	return out
+}

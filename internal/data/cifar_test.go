@@ -1,0 +1,131 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeCIFARRecord builds one binary record with the given label and a
+// constant pixel value per channel.
+func fakeCIFARRecord(label byte, r, g, b byte) []byte {
+	rec := make([]byte, 1+3*1024)
+	rec[0] = label
+	for i := 0; i < 1024; i++ {
+		rec[1+i] = r
+		rec[1+1024+i] = g
+		rec[1+2048+i] = b
+	}
+	return rec
+}
+
+func TestReadCIFAR10(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(fakeCIFARRecord(3, 255, 0, 0))
+	buf.Write(fakeCIFARRecord(7, 0, 255, 0))
+	ds, err := ReadCIFAR10(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 || ds.Classes != 10 || ds.Shape != CIFAR10Shape {
+		t.Fatalf("bad dataset: n=%d classes=%d shape=%+v", ds.N(), ds.Classes, ds.Shape)
+	}
+	if ds.Y[0] != 3 || ds.Y[1] != 7 {
+		t.Fatalf("labels %v", ds.Y[:2])
+	}
+	// Record 0: red channel 1.0, others 0; per-image mean = 1/3.
+	row := ds.X.Row(0)
+	if math.Abs(row[0]-(1-1.0/3)) > 1e-9 {
+		t.Fatalf("red pixel %v, want %v", row[0], 1-1.0/3)
+	}
+	if math.Abs(row[1024]-(0-1.0/3)) > 1e-9 {
+		t.Fatalf("green pixel %v, want %v", row[1024], -1.0/3)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCIFAR10Truncated(t *testing.T) {
+	rec := fakeCIFARRecord(1, 10, 20, 30)
+	if _, err := ReadCIFAR10(bytes.NewReader(rec[:100])); err == nil {
+		t.Fatal("accepted truncated record")
+	}
+}
+
+func TestReadCIFAR10BadLabel(t *testing.T) {
+	rec := fakeCIFARRecord(200, 1, 2, 3)
+	if _, err := ReadCIFAR10(bytes.NewReader(rec)); err == nil {
+		t.Fatal("accepted label 200")
+	}
+}
+
+func TestReadCIFAR10Empty(t *testing.T) {
+	if _, err := ReadCIFAR10(strings.NewReader("")); err == nil {
+		t.Fatal("accepted empty stream")
+	}
+}
+
+func TestLoadCIFAR10Directory(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 5; i++ {
+		var buf bytes.Buffer
+		buf.Write(fakeCIFARRecord(byte(i%10), byte(i), 0, 0))
+		buf.Write(fakeCIFARRecord(byte((i+1)%10), 0, byte(i), 0))
+		if err := os.WriteFile(
+			filepath.Join(dir, "data_batch_"+string(rune('0'+i))+".bin"),
+			buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "test_batch.bin"),
+		fakeCIFARRecord(9, 5, 5, 5), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := LoadCIFAR10(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.N() != 10 {
+		t.Fatalf("train %d records, want 10", train.N())
+	}
+	if test.N() != 1 || test.Y[0] != 9 {
+		t.Fatalf("test %d records, label %v", test.N(), test.Y)
+	}
+}
+
+func TestLoadCIFAR10MissingFile(t *testing.T) {
+	if _, _, err := LoadCIFAR10(t.TempDir()); err == nil {
+		t.Fatal("accepted empty directory")
+	}
+}
+
+func TestConcatDatasets(t *testing.T) {
+	a := blobs(t, 10)
+	b := blobs(t, 20)
+	c := ConcatDatasets(a, b)
+	if c.N() != 30 {
+		t.Fatalf("concat %d rows, want 30", c.N())
+	}
+	if c.Y[10] != b.Y[0] || c.X.At(10, 0) != b.X.At(0, 0) {
+		t.Fatal("concat rows misaligned")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatDatasetsMismatch(t *testing.T) {
+	a := blobs(t, 10)
+	b := blobs(t, 10)
+	b.Classes = 7
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted schema mismatch")
+		}
+	}()
+	ConcatDatasets(a, b)
+}

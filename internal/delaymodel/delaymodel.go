@@ -1,0 +1,257 @@
+// Package delaymodel implements the paper's runtime model (Sec 3.1): the
+// per-iteration wall-clock time of fully synchronous SGD and of
+// periodic-averaging SGD (PASGD) when local-step compute times Y_{i,k} are
+// i.i.d. random variables and each all-node broadcast costs D = D0 * s(m).
+//
+// The model supplies three things to the rest of the repo:
+//
+//  1. closed-form results where they exist (speed-up eq 12, exponential
+//     order statistics),
+//  2. Monte-Carlo sampling of per-iteration and per-round times for the
+//     runtime-distribution experiments (Fig 5), and
+//  3. the simulated clock that internal/cluster advances during training,
+//     which is what puts "wall-clock time" on the x-axis of Figs 9-13.
+package delaymodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Scaling describes how the broadcast delay grows with the number of
+// workers m: D = D0 * s(m) (paper eq 5).
+type Scaling interface {
+	Factor(m int) float64
+	String() string
+}
+
+// ConstantScaling ignores m: s(m) = 1.
+type ConstantScaling struct{}
+
+// Factor implements Scaling.
+func (ConstantScaling) Factor(int) float64 { return 1 }
+
+func (ConstantScaling) String() string { return "s(m)=1" }
+
+// LinearScaling models a flat all-to-one gather: s(m) = m.
+type LinearScaling struct{}
+
+// Factor implements Scaling.
+func (LinearScaling) Factor(m int) float64 { return float64(m) }
+
+func (LinearScaling) String() string { return "s(m)=m" }
+
+// TreeScaling models a reduction tree: s(m) = 2*log2(m) for m >= 2, 1 for
+// m = 1 (paper's parameter-server example, citing FireCaffe).
+type TreeScaling struct{}
+
+// Factor implements Scaling.
+func (TreeScaling) Factor(m int) float64 {
+	if m <= 1 {
+		return 1
+	}
+	return 2 * math.Log2(float64(m))
+}
+
+func (TreeScaling) String() string { return "s(m)=2log2(m)" }
+
+// Model is the full delay model for a cluster of M workers.
+type Model struct {
+	M     int              // number of workers
+	Y     rng.Distribution // per-local-step compute time at one worker
+	D0    rng.Distribution // base inter-node communication delay
+	Scale Scaling          // delay growth with M
+}
+
+// New builds a delay model, defaulting Scale to ConstantScaling.
+func New(m int, y, d0 rng.Distribution, scale Scaling) *Model {
+	if m < 1 {
+		panic("delaymodel: need at least one worker")
+	}
+	if scale == nil {
+		scale = ConstantScaling{}
+	}
+	return &Model{M: m, Y: y, D0: d0, Scale: scale}
+}
+
+// MeanD returns E[D] = E[D0] * s(M).
+func (dm *Model) MeanD() float64 { return dm.D0.Mean() * dm.Scale.Factor(dm.M) }
+
+// MeanY returns E[Y].
+func (dm *Model) MeanY() float64 { return dm.Y.Mean() }
+
+// Alpha returns the communication/computation ratio alpha = E[D]/E[Y].
+func (dm *Model) Alpha() float64 { return dm.MeanD() / dm.MeanY() }
+
+// SampleD draws one broadcast delay D = D0 * s(M).
+func (dm *Model) SampleD(r *rng.Rand) float64 {
+	return dm.D0.Sample(r) * dm.Scale.Factor(dm.M)
+}
+
+// SampleSyncIteration draws one iteration time of fully synchronous SGD
+// (paper eq 7): max over workers of one compute time, plus D.
+func (dm *Model) SampleSyncIteration(r *rng.Rand) float64 {
+	mx := math.Inf(-1)
+	for i := 0; i < dm.M; i++ {
+		if v := dm.Y.Sample(r); v > mx {
+			mx = v
+		}
+	}
+	return mx + dm.SampleD(r)
+}
+
+// SampleRound draws the wall-clock time of one PASGD round of tau local
+// steps followed by an averaging broadcast: max over workers of the SUM of
+// tau compute times, plus D. Dividing by tau gives the per-iteration time
+// whose expectation is eq 11.
+func (dm *Model) SampleRound(tau int, r *rng.Rand) float64 {
+	if tau < 1 {
+		panic("delaymodel: tau must be >= 1")
+	}
+	mx := math.Inf(-1)
+	for i := 0; i < dm.M; i++ {
+		sum := 0.0
+		for k := 0; k < tau; k++ {
+			sum += dm.Y.Sample(r)
+		}
+		if sum > mx {
+			mx = sum
+		}
+	}
+	return mx + dm.SampleD(r)
+}
+
+// SamplePerIteration draws the per-iteration time of PASGD with period tau
+// (round time divided by tau) — the quantity plotted in Fig 5.
+func (dm *Model) SamplePerIteration(tau int, r *rng.Rand) float64 {
+	return dm.SampleRound(tau, r) / float64(tau)
+}
+
+// MCMeanPerIteration estimates E[T_PAvg] (eq 11) by Monte Carlo.
+func (dm *Model) MCMeanPerIteration(tau, trials int, r *rng.Rand) float64 {
+	sum := 0.0
+	for t := 0; t < trials; t++ {
+		sum += dm.SamplePerIteration(tau, r)
+	}
+	return sum / float64(trials)
+}
+
+// ExpectedSyncIterationExponential returns the closed-form E[T_sync] =
+// y*H_m + E[D] when Y is exponential with mean y (paper Sec 3.2). It
+// panics if Y is not exponential.
+func (dm *Model) ExpectedSyncIterationExponential() float64 {
+	e, ok := dm.Y.(rng.Exponential)
+	if !ok {
+		panic("delaymodel: closed form requires exponential Y")
+	}
+	return rng.ExpectedMaxExponential(e.MeanVal, dm.M) + dm.MeanD()
+}
+
+// SpeedupConstant returns the paper's eq 12 speed-up of PASGD over fully
+// synchronous SGD when Y and D are constants:
+//
+//	E[T_sync]/E[T_PAvg] = (1 + alpha) / (1 + alpha/tau).
+func SpeedupConstant(alpha float64, tau int) float64 {
+	if tau < 1 {
+		panic("delaymodel: tau must be >= 1")
+	}
+	return (1 + alpha) / (1 + alpha/float64(tau))
+}
+
+// SpeedupMC estimates the true speed-up E[T_sync]/E[T_PAvg] for arbitrary
+// distributions by Monte Carlo.
+func (dm *Model) SpeedupMC(tau, trials int, r *rng.Rand) float64 {
+	sync := 0.0
+	pavg := 0.0
+	for t := 0; t < trials; t++ {
+		sync += dm.SampleSyncIteration(r)
+		pavg += dm.SamplePerIteration(tau, r)
+	}
+	return sync / pavg
+}
+
+// Profile is a named calibration of the delay model to a deep-network
+// architecture, standing in for the paper's Fig 8 measurements. ComputeY is
+// the per-local-step compute-time distribution; CommD0 the base broadcast
+// delay. Alpha(profile) = E[D]/E[Y] reproduces the paper's qualitative
+// claim: VGG-16's communication is ~4x its computation, while ResNet-50's
+// communication is about half its computation.
+type Profile struct {
+	Name     string
+	ComputeY rng.Distribution
+	CommD0   rng.Distribution
+}
+
+// VGG16Profile returns the VGG-16-like calibration (alpha = 4): 0.05 s
+// compute per iteration, 0.20 s broadcast. The absolute scale is arbitrary
+// simulator seconds; the ratio is what Fig 8 pins down.
+func VGG16Profile() Profile {
+	return Profile{
+		Name:     "VGG16-like",
+		ComputeY: rng.ShiftedExponential{Shift: 0.04, Scale: 0.01},
+		CommD0:   rng.Constant{Value: 0.20},
+	}
+}
+
+// ResNet50Profile returns the ResNet-50-like calibration (alpha = 0.5):
+// 0.12 s compute per iteration, 0.06 s broadcast.
+func ResNet50Profile() Profile {
+	return Profile{
+		Name:     "ResNet50-like",
+		ComputeY: rng.ShiftedExponential{Shift: 0.10, Scale: 0.02},
+		CommD0:   rng.Constant{Value: 0.06},
+	}
+}
+
+// Model builds a delay model for m workers from the profile.
+func (p Profile) Model(m int, scale Scaling) *Model {
+	return New(m, p.ComputeY, p.CommD0, scale)
+}
+
+// Breakdown is the computation/communication split of a run of iterations,
+// the quantity shown as stacked bars in Fig 8.
+type Breakdown struct {
+	Profile   string
+	Tau       int
+	Iters     int
+	Compute   float64 // total compute wall-clock (max across workers per round)
+	Comm      float64 // total communication wall-clock
+	WallClock float64 // Compute + Comm
+}
+
+// MeasureBreakdown simulates `iters` iterations of PASGD with period tau
+// and splits the elapsed time into compute and communication components.
+func MeasureBreakdown(p Profile, m, tau, iters int, r *rng.Rand) Breakdown {
+	dm := p.Model(m, ConstantScaling{})
+	b := Breakdown{Profile: p.Name, Tau: tau, Iters: iters}
+	done := 0
+	for done < iters {
+		steps := tau
+		if rem := iters - done; rem < steps {
+			steps = rem
+		}
+		mx := math.Inf(-1)
+		for i := 0; i < m; i++ {
+			sum := 0.0
+			for k := 0; k < steps; k++ {
+				sum += dm.Y.Sample(r)
+			}
+			if sum > mx {
+				mx = sum
+			}
+		}
+		b.Compute += mx
+		b.Comm += dm.SampleD(r)
+		done += steps
+	}
+	b.WallClock = b.Compute + b.Comm
+	return b
+}
+
+// String renders the breakdown as a table row.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("%-14s tau=%-4d iters=%-5d compute=%8.3f comm=%8.3f total=%8.3f",
+		b.Profile, b.Tau, b.Iters, b.Compute, b.Comm, b.WallClock)
+}

@@ -1,0 +1,235 @@
+package delaymodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestScalings(t *testing.T) {
+	if (ConstantScaling{}).Factor(16) != 1 {
+		t.Fatal("constant scaling")
+	}
+	if (LinearScaling{}).Factor(16) != 16 {
+		t.Fatal("linear scaling")
+	}
+	if got := (TreeScaling{}).Factor(16); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("tree scaling factor(16) = %v, want 8", got)
+	}
+	if (TreeScaling{}).Factor(1) != 1 {
+		t.Fatal("tree scaling m=1 should be 1")
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	dm := New(4, rng.Constant{Value: 2}, rng.Constant{Value: 1}, ConstantScaling{})
+	if got := dm.Alpha(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("alpha = %v, want 0.5", got)
+	}
+	dm2 := New(4, rng.Constant{Value: 1}, rng.Constant{Value: 1}, LinearScaling{})
+	if got := dm2.Alpha(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("alpha with linear scaling = %v, want 4", got)
+	}
+}
+
+func TestSampleSyncConstant(t *testing.T) {
+	// With constant Y and D, every sync iteration takes exactly Y+D.
+	dm := New(8, rng.Constant{Value: 1}, rng.Constant{Value: 0.5}, ConstantScaling{})
+	r := rng.New(1)
+	for i := 0; i < 10; i++ {
+		if got := dm.SampleSyncIteration(r); math.Abs(got-1.5) > 1e-12 {
+			t.Fatalf("sync iter = %v, want 1.5", got)
+		}
+	}
+}
+
+func TestSampleRoundConstant(t *testing.T) {
+	dm := New(8, rng.Constant{Value: 1}, rng.Constant{Value: 0.5}, ConstantScaling{})
+	r := rng.New(2)
+	// Round of tau=10: 10*1 + 0.5.
+	if got := dm.SampleRound(10, r); math.Abs(got-10.5) > 1e-12 {
+		t.Fatalf("round = %v, want 10.5", got)
+	}
+	// Per-iteration: 1.05.
+	if got := dm.SamplePerIteration(10, r); math.Abs(got-1.05) > 1e-12 {
+		t.Fatalf("per-iter = %v, want 1.05", got)
+	}
+}
+
+func TestSpeedupConstantEq12(t *testing.T) {
+	// Spot-check eq 12 values: alpha=0.9, tau->inf approaches 1.9.
+	if got := SpeedupConstant(0.9, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("speedup at tau=1 must be 1, got %v", got)
+	}
+	if got := SpeedupConstant(0.9, 100); got < 1.87 || got > 1.9 {
+		t.Fatalf("speedup(0.9, 100) = %v, want ~1.88", got)
+	}
+	// Monotone increasing in tau.
+	prev := 0.0
+	for tau := 1; tau <= 64; tau *= 2 {
+		cur := SpeedupConstant(0.5, tau)
+		if cur <= prev {
+			t.Fatalf("speedup not increasing at tau=%d", tau)
+		}
+		prev = cur
+	}
+	// Monotone increasing in alpha at fixed tau.
+	if SpeedupConstant(0.1, 10) >= SpeedupConstant(0.9, 10) {
+		t.Fatal("speedup should grow with alpha")
+	}
+}
+
+func TestSpeedupMCMatchesFormulaForConstants(t *testing.T) {
+	dm := New(4, rng.Constant{Value: 1}, rng.Constant{Value: 0.9}, ConstantScaling{})
+	r := rng.New(3)
+	mc := dm.SpeedupMC(10, 1000, r)
+	want := SpeedupConstant(0.9, 10)
+	if math.Abs(mc-want) > 1e-9 {
+		t.Fatalf("MC speedup %v vs formula %v", mc, want)
+	}
+}
+
+func TestExpectedSyncExponentialClosedForm(t *testing.T) {
+	dm := New(16, rng.Exponential{MeanVal: 1}, rng.Constant{Value: 1}, ConstantScaling{})
+	want := rng.HarmonicNumber(16) + 1
+	if got := dm.ExpectedSyncIterationExponential(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("closed form %v, want %v", got, want)
+	}
+	// Monte-Carlo agreement.
+	r := rng.New(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += dm.SampleSyncIteration(r)
+	}
+	if mc := sum / n; math.Abs(mc-want) > 0.02 {
+		t.Fatalf("MC %v vs closed form %v", mc, want)
+	}
+}
+
+func TestClosedFormPanicsForNonExponential(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-exponential Y")
+		}
+	}()
+	New(4, rng.Constant{Value: 1}, rng.Constant{Value: 1}, ConstantScaling{}).
+		ExpectedSyncIterationExponential()
+}
+
+func TestStragglerMitigation(t *testing.T) {
+	// Paper Fig 5's claim: with exponential Y (m=16, y=1, D=1), the mean
+	// per-iteration time of PASGD(tau=10) is roughly 2x smaller than sync
+	// SGD, and its distribution has a lighter tail.
+	dm := New(16, rng.Exponential{MeanVal: 1}, rng.Constant{Value: 1}, ConstantScaling{})
+	r := rng.New(5)
+	const trials = 50000
+	syncMean := 0.0
+	syncVals := make([]float64, trials)
+	pavgVals := make([]float64, trials)
+	pavgMean := 0.0
+	for i := 0; i < trials; i++ {
+		s := dm.SampleSyncIteration(r)
+		p := dm.SamplePerIteration(10, r)
+		syncMean += s
+		pavgMean += p
+		syncVals[i] = s
+		pavgVals[i] = p
+	}
+	syncMean /= trials
+	pavgMean /= trials
+	ratio := syncMean / pavgMean
+	if ratio < 1.8 || ratio > 2.6 {
+		t.Fatalf("mean speedup %v, paper reports ~2x", ratio)
+	}
+	// Lighter tail: PASGD's p99 per-iteration time is smaller.
+	ss := rng.Summarize(syncVals)
+	ps := rng.Summarize(pavgVals)
+	if ps.P99 >= ss.P99 {
+		t.Fatalf("PASGD p99 %v should beat sync p99 %v", ps.P99, ss.P99)
+	}
+	if ps.Var >= ss.Var {
+		t.Fatalf("PASGD variance %v should beat sync %v", ps.Var, ss.Var)
+	}
+}
+
+func TestMCMeanPerIterationDecreasesInTau(t *testing.T) {
+	dm := New(8, rng.Exponential{MeanVal: 1}, rng.Constant{Value: 1}, ConstantScaling{})
+	r := rng.New(6)
+	prev := math.Inf(1)
+	for _, tau := range []int{1, 2, 5, 10, 50} {
+		cur := dm.MCMeanPerIteration(tau, 20000, r)
+		if cur >= prev {
+			t.Fatalf("per-iteration time not decreasing at tau=%d: %v >= %v", tau, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	vgg := VGG16Profile()
+	res := ResNet50Profile()
+	am := func(p Profile) float64 { return p.Model(4, ConstantScaling{}).Alpha() }
+	if a := am(vgg); a < 3 || a > 5 {
+		t.Fatalf("VGG alpha %v, want ~4 (paper Fig 8)", a)
+	}
+	if a := am(res); a < 0.3 || a > 0.8 {
+		t.Fatalf("ResNet alpha %v, want ~0.5 (paper Fig 8)", a)
+	}
+	if am(vgg) <= am(res) {
+		t.Fatal("VGG must be more communication-bound than ResNet")
+	}
+}
+
+func TestMeasureBreakdown(t *testing.T) {
+	r := rng.New(7)
+	b1 := MeasureBreakdown(VGG16Profile(), 4, 1, 100, r)
+	b10 := MeasureBreakdown(VGG16Profile(), 4, 10, 100, r)
+	if b1.Iters != 100 || b10.Iters != 100 {
+		t.Fatal("wrong iteration count")
+	}
+	// tau=10 performs 10 broadcasts instead of 100: ~10x less comm time.
+	if b10.Comm >= b1.Comm/5 {
+		t.Fatalf("tau=10 comm %v not ~10x below tau=1 comm %v", b10.Comm, b1.Comm)
+	}
+	// Compute time is roughly unchanged (same number of local steps).
+	if b10.Compute > 2*b1.Compute || b1.Compute > 2*b10.Compute {
+		t.Fatalf("compute changed too much: %v vs %v", b1.Compute, b10.Compute)
+	}
+	// For the VGG profile, comm dominates at tau=1 (paper Fig 8).
+	if b1.Comm <= b1.Compute {
+		t.Fatalf("VGG tau=1: comm %v should dominate compute %v", b1.Comm, b1.Compute)
+	}
+	if b1.WallClock != b1.Compute+b1.Comm {
+		t.Fatal("wallclock != compute + comm")
+	}
+}
+
+func TestMeasureBreakdownPartialLastRound(t *testing.T) {
+	// iters not divisible by tau: the final round has fewer steps but the
+	// total local-step count must still equal iters.
+	r := rng.New(8)
+	b := MeasureBreakdown(Profile{
+		Name:     "unit",
+		ComputeY: rng.Constant{Value: 1},
+		CommD0:   rng.Constant{Value: 0},
+	}, 1, 7, 10, r)
+	if math.Abs(b.Compute-10) > 1e-12 {
+		t.Fatalf("compute %v, want 10 unit steps", b.Compute)
+	}
+}
+
+// Property: eq-12 speedup is always in [1, 1+alpha].
+func TestSpeedupBoundsProperty(t *testing.T) {
+	f := func(a8, t8 uint8) bool {
+		alpha := float64(a8) / 64.0
+		tau := 1 + int(t8)%128
+		s := SpeedupConstant(alpha, tau)
+		return s >= 1-1e-12 && s <= 1+alpha+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+package delaymodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/delaymodel"
+	"repro/internal/rng"
+)
+
+// The eq-12 speedup of PASGD over fully synchronous SGD for a
+// communication-bound cluster (alpha = 0.9), as in the paper's Fig 4.
+func ExampleSpeedupConstant() {
+	for _, tau := range []int{1, 10, 100} {
+		fmt.Printf("tau=%-4d speedup=%.3f\n", tau, delaymodel.SpeedupConstant(0.9, tau))
+	}
+	// Output:
+	// tau=1    speedup=1.000
+	// tau=10   speedup=1.743
+	// tau=100  speedup=1.883
+}
+
+// Closed-form expected per-iteration time of fully synchronous SGD with
+// exponential compute times: y*H_m + D (paper Sec 3.2).
+func ExampleModel_ExpectedSyncIterationExponential() {
+	dm := delaymodel.New(16,
+		rng.Exponential{MeanVal: 1},
+		rng.Constant{Value: 1},
+		delaymodel.ConstantScaling{})
+	fmt.Printf("%.4f\n", dm.ExpectedSyncIterationExponential())
+	// Output:
+	// 4.3807
+}

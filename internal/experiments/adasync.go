@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/paramserver"
+	"repro/internal/rng"
+)
+
+// AdaSyncRow is one parameter-server method's outcome.
+type AdaSyncRow struct {
+	Method       string
+	FinalLoss    float64
+	TimeToTarget float64
+	Updates      int
+	MeanStale    float64
+}
+
+// AdaSyncExperiment runs the paper's concluding extension: adapting
+// asynchrony in a K-async parameter server. Baselines are fully
+// asynchronous (K=1) and fully synchronous (K=m) aggregation; AdaSync grows
+// K from 1 toward m as the training loss decreases.
+func AdaSyncExperiment(scale Scale) []AdaSyncRow {
+	m := 8
+	w := BuildWorkload(ArchLogistic, 4, m, scale, 501)
+	budget := 400.0
+	if scale == ScaleQuick {
+		budget = 150
+	}
+	cfg := paramserver.Config{
+		Mode:       paramserver.KAsync,
+		BatchSize:  8,
+		ComputeY:   rng.Exponential{MeanVal: 1},
+		PushDelay:  rng.Constant{Value: 0.1},
+		MaxTime:    budget,
+		EvalEvery:  25,
+		EvalSubset: 400,
+		Seed:       502,
+	}
+	// Re-shard for the PS worker count.
+	shards := data.ShardIID(w.Train, m, rng.New(503))
+
+	run := func(name string, ctrl paramserver.Controller) (*metrics.Trace, rng.Summary) {
+		s, err := paramserver.New(w.Proto, shards, w.Train, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		return s.Run(ctrl, name)
+	}
+
+	type result struct {
+		name  string
+		trace *metrics.Trace
+		stale rng.Summary
+	}
+	var results []result
+	for _, rc := range []struct {
+		name string
+		ctrl paramserver.Controller
+	}{
+		{"K=1 (async)", paramserver.FixedK{K: 1, LR: 0.1}},
+		{fmt.Sprintf("K=%d (sync)", m), paramserver.FixedK{K: m, LR: 0.1}},
+		{"AdaSync", paramserver.NewAdaSync(paramserver.AdaSyncConfig{
+			K0: 1, M: m, Interval: budget / 10, LR: 0.1,
+		})},
+	} {
+		tr, st := run(rc.name, rc.ctrl)
+		results = append(results, result{rc.name, tr, st})
+	}
+
+	// Target every method reaches.
+	worst := 0.0
+	for _, r := range results {
+		if l := r.trace.MinLoss(); l > worst {
+			worst = l
+		}
+	}
+	target := worst * 1.05
+
+	rows := make([]AdaSyncRow, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, AdaSyncRow{
+			Method:       r.name,
+			FinalLoss:    r.trace.FinalLoss(),
+			TimeToTarget: r.trace.TimeToLoss(target),
+			Updates:      r.trace.Last().Iter,
+			MeanStale:    r.stale.Mean,
+		})
+	}
+	return rows
+}
+
+// PrintAdaSync renders the adaptive-asynchrony comparison.
+func PrintAdaSync(w io.Writer, rows []AdaSyncRow) {
+	fmt.Fprintln(w, "== Extension: adaptive asynchrony (K-async parameter server, m=8) ==")
+	fmt.Fprintf(w, "%-14s %12s %12s %10s %12s\n",
+		"method", "final loss", "t(target)", "updates", "mean stale")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12.5f %12.2f %10d %12.2f\n",
+			r.Method, r.FinalLoss, r.TimeToTarget, r.Updates, r.MeanStale)
+	}
+}

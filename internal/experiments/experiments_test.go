@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/delaymodel"
+)
+
+func TestFig4Shape(t *testing.T) {
+	rows := Fig4()
+	if len(rows) != 300 {
+		t.Fatalf("Fig4 rows %d, want 300", len(rows))
+	}
+	// Paper claim: at alpha=0.9 PASGD approaches ~2x speedup.
+	var last Fig4Row
+	for _, r := range rows {
+		if r.Alpha == 0.9 && r.Tau == 100 {
+			last = r
+		}
+		if r.Tau == 1 && math.Abs(r.Speedup-1) > 1e-12 {
+			t.Fatalf("speedup at tau=1 must be 1: %+v", r)
+		}
+	}
+	if last.Speedup < 1.8 {
+		t.Fatalf("alpha=0.9 tau=100 speedup %v, want ~1.88", last.Speedup)
+	}
+	var sb strings.Builder
+	PrintFig4(&sb, rows)
+	if !strings.Contains(sb.String(), "Fig 4") {
+		t.Fatal("PrintFig4 empty")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res := Fig5(20000, 1)
+	// Paper: dashed mean lines show ~2x gap.
+	ratio := res.SyncMean / res.PAvgMean
+	if ratio < 1.8 || ratio > 2.6 {
+		t.Fatalf("Fig5 mean ratio %v, want ~2", ratio)
+	}
+	if res.SyncHist.Total() != 20000 || res.PAvgHist.Total() != 20000 {
+		t.Fatal("histogram totals wrong")
+	}
+	var sb strings.Builder
+	PrintFig5(&sb, res)
+	if !strings.Contains(sb.String(), "x less") {
+		t.Fatal("PrintFig5 missing ratio")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	curves := Fig6(100)
+	if len(curves) != 2 {
+		t.Fatal("want 2 curves")
+	}
+	sync, pavg := curves[0], curves[1]
+	if sync.Tau != 1 || pavg.Tau != 10 {
+		t.Fatal("curve taus wrong")
+	}
+	// Early: tau=10 lower; late: tau=1 lower (paper Fig 6 shape).
+	if pavg.Values[2] >= sync.Values[2] {
+		t.Fatalf("tau=10 should win early: %v vs %v", pavg.Values[2], sync.Values[2])
+	}
+	n := len(sync.Values)
+	if pavg.Values[n-1] <= sync.Values[n-1] {
+		t.Fatalf("tau=1 should win late: %v vs %v", sync.Values[n-1], pavg.Values[n-1])
+	}
+	var sb strings.Builder
+	PrintFig6(&sb, curves)
+	if !strings.Contains(sb.String(), "crossover") {
+		t.Fatal("PrintFig6 missing crossover")
+	}
+}
+
+func TestFig7Schedule(t *testing.T) {
+	res := Fig7(Fig6Constants(), 60, 8, 64)
+	if len(res.TauStars) != 8 || len(res.TauFormula) != 8 {
+		t.Fatal("wrong interval count")
+	}
+	// The schedule must be non-increasing and end below its start.
+	for i := 1; i < len(res.TauStars); i++ {
+		if res.TauStars[i] > res.TauStars[i-1] {
+			t.Fatalf("tau* increased at interval %d: %v", i, res.TauStars)
+		}
+	}
+	if res.TauStars[len(res.TauStars)-1] >= res.TauStars[0] {
+		t.Fatalf("tau* did not decay: %v", res.TauStars)
+	}
+	var sb strings.Builder
+	PrintFig7(&sb, res)
+	if !strings.Contains(sb.String(), "interval") {
+		t.Fatal("PrintFig7 empty")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows := Fig8(4, 2)
+	if len(rows) != 4 {
+		t.Fatalf("Fig8 rows %d, want 4", len(rows))
+	}
+	byKey := map[string]delaymodel.Breakdown{}
+	for _, b := range rows {
+		byKey[b.Profile+"/"+itoa(b.Tau)] = b
+	}
+	vgg1 := byKey["VGG16-like/1"]
+	res1 := byKey["ResNet50-like/1"]
+	// Paper Fig 8: VGG comm ~4x its compute; ResNet comm below compute.
+	if vgg1.Comm < 2*vgg1.Compute {
+		t.Fatalf("VGG tau=1 comm %v should dwarf compute %v", vgg1.Comm, vgg1.Compute)
+	}
+	if res1.Comm >= res1.Compute {
+		t.Fatalf("ResNet tau=1 comm %v should be below compute %v", res1.Comm, res1.Compute)
+	}
+	// tau=10 shrinks total time for both, dramatically for VGG.
+	vgg10 := byKey["VGG16-like/10"]
+	if vgg10.WallClock > 0.5*vgg1.WallClock {
+		t.Fatalf("VGG tau=10 total %v not far below tau=1 %v", vgg10.WallClock, vgg1.WallClock)
+	}
+}
+
+func itoa(n int) string {
+	if n == 1 {
+		return "1"
+	}
+	return "10"
+}
+
+func TestBuildWorkloadShapes(t *testing.T) {
+	for _, arch := range []Arch{ArchLogistic, ArchVGG, ArchResNet} {
+		w := BuildWorkload(arch, 4, 4, ScaleQuick, 3)
+		if len(w.Shards) != 4 {
+			t.Fatalf("%s: %d shards", arch, len(w.Shards))
+		}
+		if w.Train.N() == 0 || w.Test.N() == 0 {
+			t.Fatalf("%s: empty datasets", arch)
+		}
+		if w.Proto.ParamLen() == 0 {
+			t.Fatalf("%s: empty model", arch)
+		}
+		if w.Delay.M != 4 {
+			t.Fatalf("%s: delay model workers", arch)
+		}
+	}
+}
+
+func TestBuildWorkloadDeterministic(t *testing.T) {
+	a := BuildWorkload(ArchVGG, 4, 4, ScaleQuick, 9)
+	b := BuildWorkload(ArchVGG, 4, 4, ScaleQuick, 9)
+	for i := range a.Proto.Params() {
+		if a.Proto.Params()[i] != b.Proto.Params()[i] {
+			t.Fatal("workload init not deterministic")
+		}
+	}
+	for i := range a.Train.X.Data {
+		if a.Train.X.Data[i] != b.Train.X.Data[i] {
+			t.Fatal("dataset not deterministic")
+		}
+	}
+}
+
+func TestFig1QuickRun(t *testing.T) {
+	cmp := RunComparison(Fig1Spec(ScaleQuick))
+	if len(cmp.Order) != 3 { // tau=1, tau=20, AdaComm
+		t.Fatalf("methods: %v", cmp.Order)
+	}
+	for name, tr := range cmp.Traces {
+		if tr.Len() < 3 {
+			t.Fatalf("%s trace too short", name)
+		}
+		if tr.FinalLoss() >= tr.Points[0].Loss {
+			t.Fatalf("%s did not reduce loss: %v -> %v", name, tr.Points[0].Loss, tr.FinalLoss())
+		}
+	}
+	// tau=20 completes more iterations than tau=1 in the same budget
+	// (alpha=1: roughly (1+1)/(1+1/20) ~ 1.9x).
+	it1 := cmp.Traces["tau=1"].Last().Iter
+	it20 := cmp.Traces["tau=20"].Last().Iter
+	if float64(it20) < 1.5*float64(it1) {
+		t.Fatalf("tau=20 iterations %d not well above tau=1 %d", it20, it1)
+	}
+	cmp.Print(io.Discard)
+}
+
+func TestFig9QuickShape(t *testing.T) {
+	cmp := RunComparison(Fig9Spec(4, false, ScaleQuick))
+	// AdaComm's tau must decrease over the run.
+	first, last := 0, 0
+	for _, p := range cmp.Traces["AdaComm"].Points {
+		if p.Tau > 0 {
+			if first == 0 {
+				first = p.Tau
+			}
+			last = p.Tau
+		}
+	}
+	if first == 0 || last > first {
+		t.Fatalf("AdaComm tau trajectory wrong: first %d last %d", first, last)
+	}
+	cmp.Print(io.Discard)
+}
+
+func TestFig14QuickGap(t *testing.T) {
+	res := Fig14(ScaleQuick, 5)
+	if len(res.SyncAcc) == 0 || len(res.LocalAcc) == 0 {
+		t.Fatal("Fig14 recorded no points")
+	}
+	// The synchronized model must be better on average (paper: ~10% gap;
+	// any positive gap validates the mechanism at this scale).
+	if math.IsNaN(res.MeanGap) || res.MeanGap <= 0 {
+		t.Fatalf("sync-local accuracy gap %v, want > 0", res.MeanGap)
+	}
+	var sb strings.Builder
+	PrintFig14(&sb, res)
+	if !strings.Contains(sb.String(), "gap") {
+		t.Fatal("PrintFig14 empty")
+	}
+}
+
+func TestRepeatComparison(t *testing.T) {
+	rows := RepeatComparison(Fig1Spec(ScaleQuick), []uint64{1, 2, 3})
+	if len(rows) != 3 { // tau=1, tau=20, AdaComm
+		t.Fatalf("methods %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.FinalLossMean) || r.FinalLossMean <= 0 {
+			t.Fatalf("bad loss stats %+v", r)
+		}
+		if r.Runs == 0 {
+			t.Fatalf("no defined speedups for %s", r.Method)
+		}
+	}
+	// tau=1's speedup vs itself is exactly 1 with zero variance.
+	if rows[0].Method != "tau=1" || math.Abs(rows[0].SpeedupMean-1) > 1e-9 || rows[0].SpeedupStd != 0 {
+		t.Fatalf("sync self-speedup wrong: %+v", rows[0])
+	}
+	var sb strings.Builder
+	PrintRepeat(&sb, "demo", rows)
+	if !strings.Contains(sb.String(), "multi-seed") {
+		t.Fatal("PrintRepeat empty")
+	}
+}
+
+func TestStrategyAblationQuick(t *testing.T) {
+	rows := StrategyAblation(ScaleQuick)
+	if len(rows) != 3 {
+		t.Fatalf("strategies %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.FinalLoss) || r.FinalLoss <= 0 {
+			t.Fatalf("bad loss for %s: %v", r.Strategy, r.FinalLoss)
+		}
+	}
+	var sb strings.Builder
+	PrintStrategyAblation(&sb, rows)
+	if !strings.Contains(sb.String(), "ring-gossip") {
+		t.Fatal("PrintStrategyAblation missing strategies")
+	}
+}
+
+func TestDelayAblationQuick(t *testing.T) {
+	rows := DelayAblation(ScaleQuick)
+	if len(rows) != 3 {
+		t.Fatalf("rows %d, want 3", len(rows))
+	}
+	// Heavy-tailed distributions must beat the constant-Y formula
+	// (straggler mitigation); the constant distribution must match it.
+	for _, r := range rows {
+		if strings.HasPrefix(r.Dist, "Constant") {
+			if math.Abs(r.SpeedupMC-r.ConstantModel) > 0.05*r.ConstantModel {
+				t.Fatalf("constant-Y MC %v != formula %v", r.SpeedupMC, r.ConstantModel)
+			}
+		} else if r.SpeedupMC <= r.ConstantModel {
+			t.Fatalf("%s: MC speedup %v should exceed eq-12 %v",
+				r.Dist, r.SpeedupMC, r.ConstantModel)
+		}
+	}
+}
+
+func TestAdaSyncExperimentQuick(t *testing.T) {
+	rows := AdaSyncExperiment(ScaleQuick)
+	if len(rows) != 3 {
+		t.Fatalf("rows %d, want 3", len(rows))
+	}
+	byName := map[string]AdaSyncRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+		if math.IsNaN(r.FinalLoss) {
+			t.Fatalf("NaN loss for %s", r.Method)
+		}
+	}
+	async := byName["K=1 (async)"]
+	sync := byName["K=8 (sync)"]
+	// Async completes far more updates in the same simulated budget.
+	if async.Updates < 2*sync.Updates {
+		t.Fatalf("async updates %d not well above sync %d", async.Updates, sync.Updates)
+	}
+	// Async has staleness; sync has none.
+	if async.MeanStale <= 0 || sync.MeanStale != 0 {
+		t.Fatalf("staleness wrong: async %v sync %v", async.MeanStale, sync.MeanStale)
+	}
+	var sb strings.Builder
+	PrintAdaSync(&sb, rows)
+	if !strings.Contains(sb.String(), "AdaSync") {
+		t.Fatal("PrintAdaSync empty")
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	rows := Table1(ScaleQuick)
+	if len(rows) != 8 { // 2 archs x 4 methods
+		t.Fatalf("Table1 rows %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.FixedLR) || r.FixedLR < 0 || r.FixedLR > 1 {
+			t.Fatalf("bad fixed-LR accuracy %+v", r)
+		}
+		if math.IsNaN(r.VariableLR) || r.VariableLR < 0 || r.VariableLR > 1 {
+			t.Fatalf("bad variable-LR accuracy %+v", r)
+		}
+	}
+	var sb strings.Builder
+	PrintTable1(&sb, rows)
+	if !strings.Contains(sb.String(), "Table 1") {
+		t.Fatal("PrintTable1 empty")
+	}
+}

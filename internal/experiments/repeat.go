@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// Multi-seed repetition: the paper reports single runs; this driver reruns
+// a comparison across several seeds and reports mean +/- sample-std of each
+// method's final loss and speedup-over-sync, quantifying how robust the
+// reproduced shape is to data/initialization randomness.
+
+// RepeatResult aggregates one method's statistics across seeds.
+type RepeatResult struct {
+	Method        string
+	FinalLossMean float64
+	FinalLossStd  float64
+	SpeedupMean   float64 // vs tau=1 at each run's own reachable target
+	SpeedupStd    float64
+	Runs          int // runs where the speedup was defined
+}
+
+// RepeatComparison reruns the spec with `seeds` different seeds.
+func RepeatComparison(spec TrainSpec, seeds []uint64) []RepeatResult {
+	if len(seeds) == 0 {
+		panic("experiments: RepeatComparison needs seeds")
+	}
+	type acc struct {
+		losses   []float64
+		speedups []float64
+	}
+	order := []string(nil)
+	accs := map[string]*acc{}
+	for _, seed := range seeds {
+		s := spec
+		s.Seed = seed
+		cmp := RunComparison(s)
+		if order == nil {
+			order = cmp.Order
+			for _, name := range order {
+				accs[name] = &acc{}
+			}
+		}
+		target := cmp.ReachableTarget(0.05)
+		for _, name := range order {
+			tr := cmp.Traces[name]
+			a := accs[name]
+			a.losses = append(a.losses, tr.FinalLoss())
+			if sp := metrics.Speedup(cmp.Traces["tau=1"], tr, target); !math.IsNaN(sp) {
+				a.speedups = append(a.speedups, sp)
+			}
+		}
+	}
+	var out []RepeatResult
+	for _, name := range order {
+		a := accs[name]
+		lm, ls := meanStd(a.losses)
+		sm, ss := meanStd(a.speedups)
+		out = append(out, RepeatResult{
+			Method:        name,
+			FinalLossMean: lm, FinalLossStd: ls,
+			SpeedupMean: sm, SpeedupStd: ss,
+			Runs: len(a.speedups),
+		})
+	}
+	return out
+}
+
+func meanStd(v []float64) (mean, std float64) {
+	if len(v) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	if len(v) < 2 {
+		return mean, 0
+	}
+	ss := 0.0
+	for _, x := range v {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(v)-1))
+}
+
+// PrintRepeat renders the multi-seed aggregate.
+func PrintRepeat(w io.Writer, title string, rows []RepeatResult) {
+	fmt.Fprintf(w, "== %s (multi-seed) ==\n", title)
+	fmt.Fprintf(w, "%-10s %20s %20s %6s\n", "method", "final loss", "speedup vs sync", "runs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %11.5f±%-8.5f %12.2f±%-7.2f %6d\n",
+			r.Method, r.FinalLossMean, r.FinalLossStd, r.SpeedupMean, r.SpeedupStd, r.Runs)
+	}
+}

@@ -1,0 +1,442 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: out = in*W^T + b, with W stored
+// row-major (out x in) followed by b (out) in the parameter slice.
+type Dense struct {
+	in, out int
+	lastIn  *tensor.Matrix // forward cache
+}
+
+// NewDense creates a Dense layer mapping in -> out features.
+func NewDense(in, out int) *Dense {
+	if in < 1 || out < 1 {
+		panic("nn: Dense dims must be >= 1")
+	}
+	return &Dense{in: in, out: out}
+}
+
+// InDim implements Layer.
+func (d *Dense) InDim() int { return d.in }
+
+// OutDim implements Layer.
+func (d *Dense) OutDim() int { return d.out }
+
+// ParamLen implements Layer.
+func (d *Dense) ParamLen() int { return d.out*d.in + d.out }
+
+// Init uses He initialization (appropriate for the ReLU nets in the zoo);
+// biases start at zero.
+func (d *Dense) Init(params []float64, r *rng.Rand) {
+	std := math.Sqrt(2 / float64(d.in))
+	for i := 0; i < d.out*d.in; i++ {
+		params[i] = std * r.NormFloat64()
+	}
+	for i := d.out * d.in; i < len(params); i++ {
+		params[i] = 0
+	}
+}
+
+func (d *Dense) weights(params []float64) *tensor.Matrix {
+	return &tensor.Matrix{Rows: d.out, Cols: d.in, Data: params[:d.out*d.in]}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(params []float64, in *tensor.Matrix) *tensor.Matrix {
+	d.lastIn = in
+	w := d.weights(params)
+	bias := params[d.out*d.in:]
+	out := tensor.NewMatrix(in.Rows, d.out)
+	tensor.GemmTB(1, in, w, 0, out) // out = in * W^T
+	for i := 0; i < out.Rows; i++ {
+		tensor.Axpy(1, bias, out.Row(i))
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(params []float64, dOut *tensor.Matrix, dParams []float64) *tensor.Matrix {
+	w := d.weights(params)
+	dW := &tensor.Matrix{Rows: d.out, Cols: d.in, Data: dParams[:d.out*d.in]}
+	dB := dParams[d.out*d.in:]
+	// dW += dOut^T * in ; dB += column sums of dOut ; dIn = dOut * W.
+	tensor.GemmTA(1, dOut, d.lastIn, 1, dW)
+	for i := 0; i < dOut.Rows; i++ {
+		tensor.Axpy(1, dOut.Row(i), dB)
+	}
+	dIn := tensor.NewMatrix(dOut.Rows, d.in)
+	tensor.Gemm(1, dOut, w, 0, dIn)
+	return dIn
+}
+
+// Clone implements Layer.
+func (d *Dense) Clone() Layer { return NewDense(d.in, d.out) }
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	dim     int
+	lastOut *tensor.Matrix
+}
+
+// NewReLU creates a ReLU over vectors of the given length.
+func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
+
+// InDim implements Layer.
+func (l *ReLU) InDim() int { return l.dim }
+
+// OutDim implements Layer.
+func (l *ReLU) OutDim() int { return l.dim }
+
+// ParamLen implements Layer.
+func (l *ReLU) ParamLen() int { return 0 }
+
+// Init implements Layer (no parameters).
+func (l *ReLU) Init([]float64, *rng.Rand) {}
+
+// Forward implements Layer.
+func (l *ReLU) Forward(_ []float64, in *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(in.Rows, in.Cols)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	l.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(_ []float64, dOut *tensor.Matrix, _ []float64) *tensor.Matrix {
+	dIn := tensor.NewMatrix(dOut.Rows, dOut.Cols)
+	for i, v := range l.lastOut.Data {
+		if v > 0 {
+			dIn.Data[i] = dOut.Data[i]
+		}
+	}
+	return dIn
+}
+
+// Clone implements Layer.
+func (l *ReLU) Clone() Layer { return NewReLU(l.dim) }
+
+// Tanh applies tanh elementwise.
+type Tanh struct {
+	dim     int
+	lastOut *tensor.Matrix
+}
+
+// NewTanh creates a Tanh over vectors of the given length.
+func NewTanh(dim int) *Tanh { return &Tanh{dim: dim} }
+
+// InDim implements Layer.
+func (l *Tanh) InDim() int { return l.dim }
+
+// OutDim implements Layer.
+func (l *Tanh) OutDim() int { return l.dim }
+
+// ParamLen implements Layer.
+func (l *Tanh) ParamLen() int { return 0 }
+
+// Init implements Layer (no parameters).
+func (l *Tanh) Init([]float64, *rng.Rand) {}
+
+// Forward implements Layer.
+func (l *Tanh) Forward(_ []float64, in *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(in.Rows, in.Cols)
+	for i, v := range in.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	l.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (l *Tanh) Backward(_ []float64, dOut *tensor.Matrix, _ []float64) *tensor.Matrix {
+	dIn := tensor.NewMatrix(dOut.Rows, dOut.Cols)
+	for i, y := range l.lastOut.Data {
+		dIn.Data[i] = dOut.Data[i] * (1 - y*y)
+	}
+	return dIn
+}
+
+// Clone implements Layer.
+func (l *Tanh) Clone() Layer { return NewTanh(l.dim) }
+
+// Conv2D is a 2-D convolution over channel-major flattened images,
+// implemented with im2col so the per-sample work is one matrix multiply.
+// Parameters: filters (F x C*K*K, row-major) followed by biases (F).
+type Conv2D struct {
+	shape   tensor.ConvShape
+	filters int
+	// forward caches: one lowered-patches matrix per batch row
+	patches []*tensor.Matrix
+}
+
+// NewConv2D creates a convolution from the given input shape to `filters`
+// output channels with a square kernel.
+func NewConv2D(channels, height, width, kernel, stride, pad, filters int) *Conv2D {
+	s := tensor.ConvShape{
+		Channels: channels, Height: height, Width: width,
+		Kernel: kernel, Stride: stride, Pad: pad,
+	}
+	if s.OutHeight() < 1 || s.OutWidth() < 1 || filters < 1 {
+		panic("nn: Conv2D produces empty output")
+	}
+	return &Conv2D{shape: s, filters: filters}
+}
+
+// OutShape returns the (channels, height, width) of the output images.
+func (c *Conv2D) OutShape() (channels, height, width int) {
+	return c.filters, c.shape.OutHeight(), c.shape.OutWidth()
+}
+
+// InDim implements Layer.
+func (c *Conv2D) InDim() int { return c.shape.Channels * c.shape.Height * c.shape.Width }
+
+// OutDim implements Layer.
+func (c *Conv2D) OutDim() int { return c.filters * c.shape.OutHeight() * c.shape.OutWidth() }
+
+// ParamLen implements Layer.
+func (c *Conv2D) ParamLen() int { return c.filters*c.shape.PatchLen() + c.filters }
+
+// Init uses He initialization over the fan-in C*K*K.
+func (c *Conv2D) Init(params []float64, r *rng.Rand) {
+	fanIn := float64(c.shape.PatchLen())
+	std := math.Sqrt(2 / fanIn)
+	nw := c.filters * c.shape.PatchLen()
+	for i := 0; i < nw; i++ {
+		params[i] = std * r.NormFloat64()
+	}
+	for i := nw; i < len(params); i++ {
+		params[i] = 0
+	}
+}
+
+func (c *Conv2D) kernelMatrix(params []float64) *tensor.Matrix {
+	return &tensor.Matrix{Rows: c.filters, Cols: c.shape.PatchLen(),
+		Data: params[:c.filters*c.shape.PatchLen()]}
+}
+
+// Forward implements Layer. Output rows are channel-major flattened images
+// of shape (filters, outH, outW).
+func (c *Conv2D) Forward(params []float64, in *tensor.Matrix) *tensor.Matrix {
+	w := c.kernelMatrix(params)
+	bias := params[c.filters*c.shape.PatchLen():]
+	outH, outW := c.shape.OutHeight(), c.shape.OutWidth()
+	p := outH * outW
+	out := tensor.NewMatrix(in.Rows, c.filters*p)
+	c.patches = make([]*tensor.Matrix, in.Rows)
+	lowered := tensor.NewMatrix(p, c.shape.PatchLen())
+	prod := tensor.NewMatrix(p, c.filters)
+	for i := 0; i < in.Rows; i++ {
+		tensor.Im2Col(c.shape, in.Row(i), lowered)
+		c.patches[i] = lowered.Clone()
+		tensor.GemmTB(1, lowered, w, 0, prod) // (P x F)
+		dst := out.Row(i)
+		for f := 0; f < c.filters; f++ {
+			b := bias[f]
+			for pos := 0; pos < p; pos++ {
+				dst[f*p+pos] = prod.At(pos, f) + b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(params []float64, dOut *tensor.Matrix, dParams []float64) *tensor.Matrix {
+	w := c.kernelMatrix(params)
+	dW := &tensor.Matrix{Rows: c.filters, Cols: c.shape.PatchLen(),
+		Data: dParams[:c.filters*c.shape.PatchLen()]}
+	dB := dParams[c.filters*c.shape.PatchLen():]
+	outH, outW := c.shape.OutHeight(), c.shape.OutWidth()
+	p := outH * outW
+	dIn := tensor.NewMatrix(dOut.Rows, c.InDim())
+	dProd := tensor.NewMatrix(p, c.filters)
+	dPatches := tensor.NewMatrix(p, c.shape.PatchLen())
+	for i := 0; i < dOut.Rows; i++ {
+		src := dOut.Row(i)
+		for f := 0; f < c.filters; f++ {
+			for pos := 0; pos < p; pos++ {
+				g := src[f*p+pos]
+				dProd.Set(pos, f, g)
+				dB[f] += g
+			}
+		}
+		// dW += dProd^T * patches ; dPatches = dProd * W.
+		tensor.GemmTA(1, dProd, c.patches[i], 1, dW)
+		tensor.Gemm(1, dProd, w, 0, dPatches)
+		tensor.Col2Im(c.shape, dPatches, dIn.Row(i))
+	}
+	return dIn
+}
+
+// Clone implements Layer.
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{shape: c.shape, filters: c.filters}
+}
+
+// MaxPool2x2 downsamples channel-major images by taking the max over
+// non-overlapping 2x2 windows. Height and width must be even.
+type MaxPool2x2 struct {
+	channels, height, width int
+	argmax                  [][]int // per batch row, per output element: input index
+}
+
+// NewMaxPool2x2 creates the pooling layer for the given input image shape.
+func NewMaxPool2x2(channels, height, width int) *MaxPool2x2 {
+	if height%2 != 0 || width%2 != 0 {
+		panic("nn: MaxPool2x2 requires even height and width")
+	}
+	return &MaxPool2x2{channels: channels, height: height, width: width}
+}
+
+// OutShape returns the output image shape.
+func (m *MaxPool2x2) OutShape() (channels, height, width int) {
+	return m.channels, m.height / 2, m.width / 2
+}
+
+// InDim implements Layer.
+func (m *MaxPool2x2) InDim() int { return m.channels * m.height * m.width }
+
+// OutDim implements Layer.
+func (m *MaxPool2x2) OutDim() int { return m.channels * (m.height / 2) * (m.width / 2) }
+
+// ParamLen implements Layer.
+func (m *MaxPool2x2) ParamLen() int { return 0 }
+
+// Init implements Layer (no parameters).
+func (m *MaxPool2x2) Init([]float64, *rng.Rand) {}
+
+// Forward implements Layer.
+func (m *MaxPool2x2) Forward(_ []float64, in *tensor.Matrix) *tensor.Matrix {
+	oh, ow := m.height/2, m.width/2
+	out := tensor.NewMatrix(in.Rows, m.channels*oh*ow)
+	m.argmax = make([][]int, in.Rows)
+	for i := 0; i < in.Rows; i++ {
+		src := in.Row(i)
+		dst := out.Row(i)
+		am := make([]int, len(dst))
+		for ch := 0; ch < m.channels; ch++ {
+			base := ch * m.height * m.width
+			obase := ch * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := base + (2*oy)*m.width + 2*ox
+					best := src[bestIdx]
+					for _, d := range [3]int{1, m.width, m.width + 1} {
+						if idx := base + (2*oy)*m.width + 2*ox + d; src[idx] > best {
+							best, bestIdx = src[idx], idx
+						}
+					}
+					o := obase + oy*ow + ox
+					dst[o] = best
+					am[o] = bestIdx
+				}
+			}
+		}
+		m.argmax[i] = am
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2x2) Backward(_ []float64, dOut *tensor.Matrix, _ []float64) *tensor.Matrix {
+	dIn := tensor.NewMatrix(dOut.Rows, m.InDim())
+	for i := 0; i < dOut.Rows; i++ {
+		src := dOut.Row(i)
+		dst := dIn.Row(i)
+		for o, idx := range m.argmax[i] {
+			dst[idx] += src[o]
+		}
+	}
+	return dIn
+}
+
+// Clone implements Layer.
+func (m *MaxPool2x2) Clone() Layer { return NewMaxPool2x2(m.channels, m.height, m.width) }
+
+// Residual wraps an inner layer stack F with a skip connection:
+// out = in + F(in). Inner input and output dims must match, which is the
+// identity-shortcut residual block of ResNet.
+type Residual struct {
+	inner []Layer
+	// parameter slicing within the residual's own parameter block
+	offsets []int
+	total   int
+}
+
+// NewResidual builds a residual block around the inner layers.
+func NewResidual(inner ...Layer) *Residual {
+	if len(inner) == 0 {
+		panic("nn: Residual needs inner layers")
+	}
+	total := 0
+	offsets := make([]int, len(inner))
+	for i, l := range inner {
+		if i > 0 && inner[i-1].OutDim() != l.InDim() {
+			panic("nn: Residual inner dims mismatch")
+		}
+		offsets[i] = total
+		total += l.ParamLen()
+	}
+	if inner[0].InDim() != inner[len(inner)-1].OutDim() {
+		panic("nn: Residual requires matching in/out dims for the skip connection")
+	}
+	return &Residual{inner: inner, offsets: offsets, total: total}
+}
+
+// InDim implements Layer.
+func (r *Residual) InDim() int { return r.inner[0].InDim() }
+
+// OutDim implements Layer.
+func (r *Residual) OutDim() int { return r.inner[len(r.inner)-1].OutDim() }
+
+// ParamLen implements Layer.
+func (r *Residual) ParamLen() int { return r.total }
+
+// Init implements Layer.
+func (r *Residual) Init(params []float64, rnd *rng.Rand) {
+	for i, l := range r.inner {
+		l.Init(params[r.offsets[i]:r.offsets[i]+l.ParamLen()], rnd)
+	}
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(params []float64, in *tensor.Matrix) *tensor.Matrix {
+	cur := in
+	for i, l := range r.inner {
+		cur = l.Forward(params[r.offsets[i]:r.offsets[i]+l.ParamLen()], cur)
+	}
+	out := tensor.NewMatrix(in.Rows, in.Cols)
+	tensor.Add(out.Data, in.Data, cur.Data)
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(params []float64, dOut *tensor.Matrix, dParams []float64) *tensor.Matrix {
+	cur := dOut
+	for i := len(r.inner) - 1; i >= 0; i-- {
+		l := r.inner[i]
+		cur = l.Backward(params[r.offsets[i]:r.offsets[i]+l.ParamLen()],
+			cur, dParams[r.offsets[i]:r.offsets[i]+l.ParamLen()])
+	}
+	dIn := tensor.NewMatrix(dOut.Rows, dOut.Cols)
+	tensor.Add(dIn.Data, dOut.Data, cur.Data) // skip path + inner path
+	return dIn
+}
+
+// Clone implements Layer.
+func (r *Residual) Clone() Layer {
+	inner := make([]Layer, len(r.inner))
+	for i, l := range r.inner {
+		inner[i] = l.Clone()
+	}
+	return NewResidual(inner...)
+}

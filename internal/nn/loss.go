@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy is the standard classification loss over logits,
+// computed with the log-sum-exp trick for numerical stability.
+type SoftmaxCrossEntropy struct{}
+
+// Name implements Loss.
+func (SoftmaxCrossEntropy) Name() string { return "softmax-xent" }
+
+// Eval implements Loss. Targets come from b.Y.
+func (SoftmaxCrossEntropy) Eval(out *tensor.Matrix, b data.Batch, dOut *tensor.Matrix) float64 {
+	if len(b.Y) != out.Rows {
+		panic("nn: SoftmaxCrossEntropy needs classification labels")
+	}
+	total := 0.0
+	invB := 1 / float64(out.Rows)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - mx)
+		}
+		logZ := mx + math.Log(sum)
+		total += logZ - row[b.Y[i]]
+		if dOut != nil {
+			d := dOut.Row(i)
+			for j, v := range row {
+				d[j] = math.Exp(v-logZ) * invB
+			}
+			d[b.Y[i]] -= invB
+		}
+	}
+	return total * invB
+}
+
+// MSE is mean squared error over a scalar (1-D) network output against
+// regression targets: mean over the batch of (out - t)^2 / 2.
+type MSE struct{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Eval implements Loss. Targets come from b.T.
+func (MSE) Eval(out *tensor.Matrix, b data.Batch, dOut *tensor.Matrix) float64 {
+	if len(b.T) != out.Rows {
+		panic("nn: MSE needs regression targets")
+	}
+	if out.Cols != 1 {
+		panic("nn: MSE expects a scalar output head")
+	}
+	total := 0.0
+	invB := 1 / float64(out.Rows)
+	for i := 0; i < out.Rows; i++ {
+		diff := out.At(i, 0) - b.T[i]
+		total += 0.5 * diff * diff
+		if dOut != nil {
+			dOut.Set(i, 0, diff*invB)
+		}
+	}
+	return total * invB
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Checkpoint format: a small binary container for a network's flat
+// parameter vector, so long training runs (and the cmd/ tools) can persist
+// and resume models. Layout (little-endian):
+//
+//	magic   uint32  'ACPT'
+//	version uint32  1
+//	count   uint64  number of float64 parameters
+//	params  count * float64 (IEEE-754 bits)
+//	crc     uint32  CRC-32 (IEEE) of the params bytes
+const (
+	checkpointMagic   = 0x41435054 // "ACPT"
+	checkpointVersion = 1
+)
+
+// SaveParams writes the network's parameters as a checkpoint.
+func (n *Network) SaveParams(w io.Writer) error {
+	params := n.Params()
+	header := make([]byte, 16)
+	binary.LittleEndian.PutUint32(header[0:], checkpointMagic)
+	binary.LittleEndian.PutUint32(header[4:], checkpointVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(len(params)))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("nn: checkpoint header: %w", err)
+	}
+	buf := make([]byte, 8*len(params))
+	for i, v := range params {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("nn: checkpoint params: %w", err)
+	}
+	crc := make([]byte, 4)
+	binary.LittleEndian.PutUint32(crc, crc32.ChecksumIEEE(buf))
+	if _, err := w.Write(crc); err != nil {
+		return fmt.Errorf("nn: checkpoint crc: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads a checkpoint into the network. The parameter count must
+// match the architecture exactly; the CRC guards against truncation and
+// corruption.
+func (n *Network) LoadParams(r io.Reader) error {
+	header := make([]byte, 16)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return fmt.Errorf("nn: checkpoint header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(header[0:]); m != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(header[4:]); v != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(header[8:])
+	if count != uint64(n.ParamLen()) {
+		return fmt.Errorf("nn: checkpoint has %d params, network needs %d", count, n.ParamLen())
+	}
+	buf := make([]byte, 8*count)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("nn: checkpoint params: %w", err)
+	}
+	crcBytes := make([]byte, 4)
+	if _, err := io.ReadFull(r, crcBytes); err != nil {
+		return fmt.Errorf("nn: checkpoint crc: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(buf), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return fmt.Errorf("nn: checkpoint crc mismatch: %#x vs %#x", got, want)
+	}
+	params := n.Params()
+	for i := range params {
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	n := NewMLP(6, []int{8}, 3)
+	n.InitParams(rng.New(1))
+	var buf bytes.Buffer
+	if err := n.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMLP(6, []int{8}, 3)
+	if err := m.LoadParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range n.Params() {
+		if n.Params()[i] != m.Params()[i] {
+			t.Fatalf("round trip changed param %d", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsWrongArchitecture(t *testing.T) {
+	n := NewMLP(6, []int{8}, 3)
+	n.InitParams(rng.New(2))
+	var buf bytes.Buffer
+	if err := n.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewMLP(6, []int{16}, 3)
+	if err := other.LoadParams(&buf); err == nil {
+		t.Fatal("loaded checkpoint into mismatched architecture")
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	n := NewLogisticRegression(4, 2)
+	n.InitParams(rng.New(3))
+	var buf bytes.Buffer
+	if err := n.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[20] ^= 0xFF // flip a bit inside the parameter payload
+	if err := n.LoadParams(bytes.NewReader(raw)); err == nil ||
+		!strings.Contains(err.Error(), "crc") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	n := NewLogisticRegression(4, 2)
+	if err := n.LoadParams(strings.NewReader("not a checkpoint at all")); err == nil {
+		t.Fatal("loaded garbage")
+	}
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	n := NewLogisticRegression(4, 2)
+	n.InitParams(rng.New(4))
+	var buf bytes.Buffer
+	if err := n.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-10]
+	if err := n.LoadParams(bytes.NewReader(raw)); err == nil {
+		t.Fatal("loaded truncated checkpoint")
+	}
+}

@@ -1,0 +1,86 @@
+package paramserver
+
+import (
+	"math"
+)
+
+// AdaSyncConfig parameterizes the adaptive-asynchrony controller.
+type AdaSyncConfig struct {
+	K0       int     // initial aggregation size (small = more async)
+	M        int     // worker count (upper bound for K)
+	Interval float64 // wall-clock adaptation interval T0
+	LR       float64 // learning rate (constant; schedules compose upstream)
+	// Growth is the multiplicative bump applied when the loss-ratio rule
+	// stalls (the mirror image of AdaComm's gamma decay); default 2.
+	Growth float64
+}
+
+// AdaSync adapts the server's K over wall-clock intervals: the AdaComm
+// rule inverted. AdaComm shrinks tau as sqrt(F_l/F_0); staleness noise
+// scales like 1/K where PASGD's local-drift noise scales like tau, so
+// AdaSync GROWS K as sqrt(F_0/F_l), capped at m (fully synchronous). Early
+// training tolerates staleness and buys update throughput; late training
+// needs low-variance updates to reach a low floor — the same error-runtime
+// win-win, on the asynchrony axis.
+type AdaSync struct {
+	cfg AdaSyncConfig
+
+	initialized  bool
+	f0           float64
+	nextBoundary float64
+	curK         int
+}
+
+// NewAdaSync builds the controller.
+func NewAdaSync(cfg AdaSyncConfig) *AdaSync {
+	if cfg.K0 < 1 || cfg.M < cfg.K0 {
+		panic("paramserver: AdaSync needs 1 <= K0 <= M")
+	}
+	if cfg.Interval <= 0 {
+		panic("paramserver: AdaSync needs a positive interval")
+	}
+	if cfg.Growth <= 1 {
+		cfg.Growth = 2
+	}
+	return &AdaSync{cfg: cfg}
+}
+
+// Name implements Controller.
+func (a *AdaSync) Name() string { return "AdaSync" }
+
+// K returns the current aggregation size.
+func (a *AdaSync) K() int { return a.curK }
+
+// Next implements Controller.
+func (a *AdaSync) Next(now float64, _ int, evalLoss func() float64) (int, float64) {
+	if !a.initialized {
+		a.f0 = evalLoss()
+		if a.f0 <= 0 {
+			a.f0 = math.SmallestNonzeroFloat64
+		}
+		a.curK = a.cfg.K0
+		a.nextBoundary = a.cfg.Interval
+		a.initialized = true
+		return a.curK, a.cfg.LR
+	}
+	if now >= a.nextBoundary {
+		f := evalLoss()
+		if f <= 0 {
+			f = math.SmallestNonzeroFloat64
+		}
+		proposed := int(math.Ceil(math.Sqrt(a.f0/f) * float64(a.cfg.K0)))
+		if proposed > a.curK {
+			a.curK = proposed
+		} else {
+			// Stalled: force growth (mirror of AdaComm's eq-18 decay).
+			a.curK = int(math.Ceil(a.cfg.Growth * float64(a.curK)))
+		}
+		if a.curK > a.cfg.M {
+			a.curK = a.cfg.M
+		}
+		for a.nextBoundary <= now {
+			a.nextBoundary += a.cfg.Interval
+		}
+	}
+	return a.curK, a.cfg.LR
+}

@@ -1,0 +1,354 @@
+// Package paramserver implements the parameter-server counterpart of the
+// PASGD engine: K-sync and K-async distributed SGD over a discrete-event
+// simulation of worker compute times and push/pull delays.
+//
+// The AdaComm paper's conclusion singles this framework out as the natural
+// next target for adaptive communication ("parameter server-based training
+// (e.g., adapting asynchrony)"), citing Dutta et al. 2018 ("Slow and stale
+// gradients can win the race") whose K-sync/K-async taxonomy this package
+// follows:
+//
+//   - K-sync SGD: all m workers compute a gradient at the current model;
+//     the server waits for the FASTEST K, averages them, updates, and
+//     cancels the stragglers (they restart at the new model). K = m is
+//     fully synchronous SGD; smaller K trades gradient quality for speed.
+//   - K-async SGD: workers never wait. Each computes on the model version
+//     it last pulled; the server buffers arriving (possibly stale)
+//     gradients and applies an averaged update per K arrivals. K = 1 is
+//     classic asynchronous SGD (Hogwild-style staleness).
+//
+// AdaSync (this package's adaptive controller) is the AdaComm idea
+// transplanted: start with small K (fast, noisy/stale updates — the analog
+// of large tau) and raise K toward m as the loss decreases (the analog of
+// decaying tau), using the same loss-ratio rule and saturation refinement.
+package paramserver
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/delaymodel"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Mode selects the server's aggregation discipline.
+type Mode int
+
+const (
+	// KSync waits for the fastest K gradients computed at the CURRENT
+	// model, cancels the rest.
+	KSync Mode = iota
+	// KAsync applies an update per K arrivals without cancelling anyone;
+	// gradients may be stale.
+	KAsync
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case KSync:
+		return "k-sync"
+	case KAsync:
+		return "k-async"
+	}
+	return "unknown-mode"
+}
+
+// Controller adapts the server's K (and learning rate) over wall-clock
+// time. It is the parameter-server analog of cluster.Controller.
+type Controller interface {
+	// Next returns the K and learning rate to use for the next update
+	// round, given the current simulated time and an on-demand loss probe.
+	Next(now float64, version int, evalLoss func() float64) (k int, lr float64)
+	Name() string
+}
+
+// FixedK always returns the same K and learning rate.
+type FixedK struct {
+	K  int
+	LR float64
+}
+
+// Next implements Controller.
+func (f FixedK) Next(float64, int, func() float64) (int, float64) { return f.K, f.LR }
+
+// Name implements Controller.
+func (f FixedK) Name() string { return fmt.Sprintf("K=%d", f.K) }
+
+// Config parameterizes a parameter-server run.
+type Config struct {
+	Mode      Mode
+	BatchSize int
+	// PushDelay is the gradient push + model pull round trip cost added to
+	// every worker-server exchange.
+	PushDelay rng.Distribution
+	// ComputeY is the per-gradient compute-time distribution.
+	ComputeY rng.Distribution
+	// Stop conditions (at least one required).
+	MaxUpdates int     // server updates
+	MaxTime    float64 // simulated seconds
+	// EvalEvery records a trace point every EvalEvery server updates.
+	EvalEvery  int
+	EvalSubset int
+	Seed       uint64
+}
+
+func (c Config) validate() error {
+	if c.BatchSize < 1 {
+		return fmt.Errorf("paramserver: batch size %d", c.BatchSize)
+	}
+	if c.MaxUpdates <= 0 && c.MaxTime <= 0 {
+		return fmt.Errorf("paramserver: no stop condition")
+	}
+	if c.ComputeY == nil || c.PushDelay == nil {
+		return fmt.Errorf("paramserver: delay distributions required")
+	}
+	return nil
+}
+
+// event is a worker finishing a gradient computation.
+type event struct {
+	at     float64 // completion time
+	worker int
+	seq    uint64 // tie-break for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// psWorker is one worker in the event simulation.
+type psWorker struct {
+	model   *nn.Network // holds the pulled parameters it computes on
+	sampler *data.Sampler
+	grad    []float64
+	version int // model version the in-flight gradient is computed at
+	r       *rng.Rand
+}
+
+// Server simulates a parameter server training run.
+type Server struct {
+	cfg     Config
+	m       int
+	workers []*psWorker
+	params  []float64
+	version int
+	clock   float64
+
+	queue eventQueue
+	seq   uint64
+
+	evalModel *nn.Network
+	evalBatch data.Batch
+
+	delayRand *rng.Rand
+}
+
+// New builds a server over m shards of the training set.
+func New(proto *nn.Network, shards []*data.Dataset, trainEval *data.Dataset, cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("paramserver: no shards")
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 20
+	}
+	root := rng.New(cfg.Seed)
+	s := &Server{
+		cfg:       cfg,
+		m:         len(shards),
+		params:    append([]float64(nil), proto.Params()...),
+		evalModel: proto.Clone(),
+		delayRand: root.Split(),
+	}
+	for i := range shards {
+		s.workers = append(s.workers, &psWorker{
+			model:   proto.Clone(),
+			sampler: data.NewSampler(shards[i], cfg.BatchSize, root.Split()),
+			grad:    make([]float64, proto.ParamLen()),
+			r:       root.Split(),
+		})
+	}
+	evalDS := trainEval
+	if cfg.EvalSubset > 0 && cfg.EvalSubset < trainEval.N() {
+		idx := root.Split().Perm(trainEval.N())[:cfg.EvalSubset]
+		evalDS = trainEval.Subset(idx)
+	}
+	s.evalBatch = data.FullBatch(evalDS)
+	return s, nil
+}
+
+// Loss evaluates the server model's training loss.
+func (s *Server) Loss() float64 {
+	s.evalModel.SetParams(s.params)
+	return s.evalModel.Loss(s.evalBatch)
+}
+
+// Params returns a copy of the server's parameters.
+func (s *Server) Params() []float64 { return append([]float64(nil), s.params...) }
+
+// Version returns the number of server updates applied.
+func (s *Server) Version() int { return s.version }
+
+// Clock returns the simulated time.
+func (s *Server) Clock() float64 { return s.clock }
+
+// dispatch starts worker i computing a gradient at the current model.
+func (s *Server) dispatch(i int) {
+	w := s.workers[i]
+	w.model.SetParams(s.params)
+	w.version = s.version
+	// The actual gradient computation happens lazily at completion time;
+	// only the duration is decided now.
+	dur := s.cfg.ComputeY.Sample(w.r) + s.cfg.PushDelay.Sample(s.delayRand)
+	s.seq++
+	heap.Push(&s.queue, event{at: s.clock + dur, worker: i, seq: s.seq})
+}
+
+// computeGradient materializes worker i's gradient on its next mini-batch.
+func (s *Server) computeGradient(i int) []float64 {
+	w := s.workers[i]
+	b := w.sampler.Next()
+	w.model.LossGrad(b, w.grad)
+	return w.grad
+}
+
+// applyUpdate performs x -= lr * mean(grads).
+func (s *Server) applyUpdate(grads [][]float64, lr float64) {
+	if len(grads) == 0 {
+		return
+	}
+	avg := make([]float64, len(s.params))
+	for _, g := range grads {
+		tensor.Axpy(1, g, avg)
+	}
+	tensor.Axpy(-lr/float64(len(grads)), avg, s.params)
+	s.version++
+}
+
+// Run executes the configured protocol under the controller and returns the
+// loss-vs-time trace plus staleness statistics (K-async only; K-sync
+// staleness is identically zero).
+func (s *Server) Run(ctrl Controller, traceName string) (*metrics.Trace, rng.Summary) {
+	trace := metrics.NewTrace(traceName)
+	evalLoss := func() float64 { return s.Loss() }
+
+	record := func(k int, lr float64) {
+		trace.Add(metrics.Point{
+			Time: s.clock, Iter: s.version, Loss: s.Loss(),
+			Acc: math.NaN(), Tau: k, LR: lr,
+		})
+	}
+	record(0, 0)
+
+	var staleSamples []float64
+	nextEval := s.cfg.EvalEvery
+
+	for i := range s.workers {
+		s.dispatch(i)
+	}
+
+	for {
+		if s.cfg.MaxUpdates > 0 && s.version >= s.cfg.MaxUpdates {
+			break
+		}
+		if s.cfg.MaxTime > 0 && s.clock >= s.cfg.MaxTime {
+			break
+		}
+		k, lr := ctrl.Next(s.clock, s.version, evalLoss)
+		if k < 1 {
+			k = 1
+		}
+		if k > s.m {
+			k = s.m
+		}
+
+		switch s.cfg.Mode {
+		case KSync:
+			// All workers are computing at the current version. Take the
+			// fastest K arrivals, cancel the rest, update, redispatch all.
+			grads := make([][]float64, 0, k)
+			var last float64
+			for len(grads) < k {
+				ev := heap.Pop(&s.queue).(event)
+				last = ev.at
+				g := append([]float64(nil), s.computeGradient(ev.worker)...)
+				grads = append(grads, g)
+			}
+			s.clock = last
+			s.applyUpdate(grads, lr)
+			// Cancel stragglers: clear the queue and restart everyone at
+			// the new model.
+			s.queue = s.queue[:0]
+			for i := range s.workers {
+				s.dispatch(i)
+			}
+
+		case KAsync:
+			// Collect the next K arrivals (whatever version they computed
+			// on), update once, and redispatch only those workers.
+			grads := make([][]float64, 0, k)
+			arrived := make([]int, 0, k)
+			for len(grads) < k {
+				ev := heap.Pop(&s.queue).(event)
+				s.clock = ev.at
+				w := s.workers[ev.worker]
+				g := append([]float64(nil), s.computeGradient(ev.worker)...)
+				grads = append(grads, g)
+				staleSamples = append(staleSamples, float64(s.version-w.version))
+				arrived = append(arrived, ev.worker)
+			}
+			s.applyUpdate(grads, lr)
+			for _, i := range arrived {
+				s.dispatch(i)
+			}
+		}
+
+		if s.version >= nextEval {
+			record(k, lr)
+			for nextEval <= s.version {
+				nextEval += s.cfg.EvalEvery
+			}
+		}
+	}
+	record(0, 0)
+
+	if len(staleSamples) == 0 {
+		staleSamples = []float64{0}
+	}
+	return trace, rng.Summarize(staleSamples)
+}
+
+// ExpectedKSyncUpdateTime returns the analytic expected update time of
+// K-sync SGD when compute times are Exponential(mean y): the K-th order
+// statistic of m exponentials, y*(H_m - H_{m-K}), plus the mean push delay.
+func ExpectedKSyncUpdateTime(y float64, m, k int, pushMean float64) float64 {
+	if k < 1 || k > m {
+		panic("paramserver: need 1 <= K <= m")
+	}
+	return y*(rng.HarmonicNumber(m)-rng.HarmonicNumber(m-k)) + pushMean
+}
+
+// DelayModelFromProfile adapts a delaymodel.Profile into this package's
+// compute/push distributions (the push delay is the profile's broadcast
+// delay scaled down by the number of workers, approximating point-to-point
+// cost).
+func DelayModelFromProfile(p delaymodel.Profile, m int) (computeY, push rng.Distribution) {
+	return p.ComputeY, rng.Scaled{Base: p.CommD0, Factor: 1 / float64(m)}
+}

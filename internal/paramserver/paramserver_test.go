@@ -1,0 +1,275 @@
+package paramserver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/delaymodel"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func psSetup(t *testing.T, m int) (*nn.Network, []*data.Dataset, *data.Dataset) {
+	t.Helper()
+	full := data.GaussianBlobs(data.GaussianBlobsConfig{
+		Classes: 4, Dim: 10, N: 800, Separation: 4, Noise: 1.2, LabelNoise: 0.05,
+	}, rng.New(400))
+	proto := nn.NewLogisticRegression(10, 4)
+	proto.InitParams(rng.New(401))
+	shards := data.ShardIID(full, m, rng.New(402))
+	return proto, shards, full
+}
+
+func psConfig(mode Mode) Config {
+	return Config{
+		Mode:       mode,
+		BatchSize:  16,
+		PushDelay:  rng.Constant{Value: 0.1},
+		ComputeY:   rng.Exponential{MeanVal: 1},
+		MaxUpdates: 200,
+		EvalEvery:  20,
+		EvalSubset: 300,
+		Seed:       7,
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if KSync.String() != "k-sync" || KAsync.String() != "k-async" {
+		t.Fatal("mode names")
+	}
+	if Mode(9).String() != "unknown-mode" {
+		t.Fatal("unknown mode name")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	bad := psConfig(KSync)
+	bad.BatchSize = 0
+	if _, err := New(proto, shards, train, bad); err == nil {
+		t.Fatal("accepted zero batch")
+	}
+	bad = psConfig(KSync)
+	bad.MaxUpdates, bad.MaxTime = 0, 0
+	if _, err := New(proto, shards, train, bad); err == nil {
+		t.Fatal("accepted missing stop condition")
+	}
+	bad = psConfig(KSync)
+	bad.ComputeY = nil
+	if _, err := New(proto, shards, train, bad); err == nil {
+		t.Fatal("accepted nil distributions")
+	}
+	if _, err := New(proto, nil, train, psConfig(KSync)); err == nil {
+		t.Fatal("accepted zero shards")
+	}
+}
+
+func TestKSyncTrains(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	s, err := New(proto, shards, train, psConfig(KSync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, stale := s.Run(FixedK{K: 4, LR: 0.2}, "ksync")
+	if trace.FinalLoss() >= trace.Points[0].Loss/2 {
+		t.Fatalf("K-sync failed to learn: %v -> %v",
+			trace.Points[0].Loss, trace.FinalLoss())
+	}
+	if stale.Max != 0 {
+		t.Fatalf("K-sync staleness must be 0, got max %v", stale.Max)
+	}
+	if s.Version() != 200 {
+		t.Fatalf("versions %d, want 200", s.Version())
+	}
+}
+
+func TestKAsyncTrains(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	s, err := New(proto, shards, train, psConfig(KAsync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, stale := s.Run(FixedK{K: 1, LR: 0.1}, "async")
+	if trace.FinalLoss() >= trace.Points[0].Loss/2 {
+		t.Fatalf("K-async failed to learn: %v -> %v",
+			trace.Points[0].Loss, trace.FinalLoss())
+	}
+	// Fully async with m=4: staleness must actually occur.
+	if stale.Max == 0 {
+		t.Fatal("K-async(K=1) produced no staleness")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	run := func() []float64 {
+		s, err := New(proto, shards, train, psConfig(KAsync))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(FixedK{K: 2, LR: 0.1}, "r")
+		return s.Params()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestSmallerKFasterWallClock(t *testing.T) {
+	// K-sync with K=1 waits only for the fastest worker: with exponential
+	// compute times it completes the same number of updates in much less
+	// simulated time than K=4 (full sync).
+	proto, shards, train := psSetup(t, 4)
+	runTime := func(k int) float64 {
+		s, err := New(proto, shards, train, psConfig(KSync))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := s.Run(FixedK{K: k, LR: 0.1}, "k")
+		return tr.Last().Time
+	}
+	t1, t4 := runTime(1), runTime(4)
+	// Analytic ratio of update times: (y/m + d) vs (y*H_m + d).
+	wantRatio := ExpectedKSyncUpdateTime(1, 4, 4, 0.1) / ExpectedKSyncUpdateTime(1, 4, 1, 0.1)
+	got := t4 / t1
+	if got < wantRatio*0.8 || got > wantRatio*1.25 {
+		t.Fatalf("K=4/K=1 time ratio %v, want ~%v", got, wantRatio)
+	}
+}
+
+func TestKSyncUpdateTimeFormula(t *testing.T) {
+	// Monte-Carlo check of the K-th-order-statistic formula.
+	r := rng.New(9)
+	const m, k, trials = 8, 3, 50000
+	sum := 0.0
+	for t := 0; t < trials; t++ {
+		vals := make([]float64, m)
+		for i := range vals {
+			vals[i] = r.ExpFloat64()
+		}
+		// K-th smallest.
+		for i := 0; i < k; i++ {
+			minIdx := i
+			for j := i + 1; j < m; j++ {
+				if vals[j] < vals[minIdx] {
+					minIdx = j
+				}
+			}
+			vals[i], vals[minIdx] = vals[minIdx], vals[i]
+		}
+		sum += vals[k-1]
+	}
+	mc := sum / trials
+	want := ExpectedKSyncUpdateTime(1, m, k, 0)
+	if math.Abs(mc-want) > 0.02 {
+		t.Fatalf("K-th order statistic MC %v vs formula %v", mc, want)
+	}
+}
+
+func TestKSyncFormulaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted K > m")
+		}
+	}()
+	ExpectedKSyncUpdateTime(1, 4, 5, 0)
+}
+
+func TestAsyncStalenessShrinksWithK(t *testing.T) {
+	// Larger K means the server waits for more arrivals per update, so
+	// version numbers advance more slowly relative to worker pulls and
+	// mean staleness (in versions) drops.
+	proto, shards, train := psSetup(t, 8)
+	meanStale := func(k int) float64 {
+		cfg := psConfig(KAsync)
+		s, err := New(proto, shards, train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stale := s.Run(FixedK{K: k, LR: 0.05}, "k")
+		return stale.Mean
+	}
+	s1, s8 := meanStale(1), meanStale(8)
+	if s8 >= s1 {
+		t.Fatalf("staleness should shrink with K: K=1 %v vs K=8 %v", s1, s8)
+	}
+}
+
+func TestAdaSyncGrowsK(t *testing.T) {
+	a := NewAdaSync(AdaSyncConfig{K0: 1, M: 8, Interval: 10, LR: 0.1})
+	k, lr := a.Next(0, 0, func() float64 { return 2.0 })
+	if k != 1 || lr != 0.1 {
+		t.Fatalf("initial K %d lr %v", k, lr)
+	}
+	// Loss dropped 4x: K = ceil(sqrt(4)*1) = 2.
+	k, _ = a.Next(11, 0, func() float64 { return 0.5 })
+	if k != 2 {
+		t.Fatalf("K after 4x loss drop = %d, want 2", k)
+	}
+	// Stalled loss: growth rule doubles K.
+	k, _ = a.Next(21, 0, func() float64 { return 0.5 })
+	if k != 4 {
+		t.Fatalf("K after stall = %d, want 4", k)
+	}
+	// Capped at m.
+	for i := 0; i < 5; i++ {
+		k, _ = a.Next(float64(31+10*i), 0, func() float64 { return 0.5 })
+	}
+	if k != 8 {
+		t.Fatalf("K not capped at m: %d", k)
+	}
+}
+
+func TestAdaSyncValidation(t *testing.T) {
+	for _, cfg := range []AdaSyncConfig{
+		{K0: 0, M: 4, Interval: 1},
+		{K0: 5, M: 4, Interval: 1},
+		{K0: 1, M: 4, Interval: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("accepted %+v", cfg)
+				}
+			}()
+			NewAdaSync(cfg)
+		}()
+	}
+}
+
+func TestAdaSyncEndToEnd(t *testing.T) {
+	// AdaSync on K-async must (a) grow K over the run and (b) reach a
+	// final loss comparable to full sync while being faster early.
+	proto, shards, train := psSetup(t, 8)
+	cfg := psConfig(KAsync)
+	cfg.MaxUpdates = 600
+	s, err := New(proto, shards, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada := NewAdaSync(AdaSyncConfig{K0: 1, M: 8, Interval: 30, LR: 0.1})
+	trace, _ := s.Run(ada, "adasync")
+	if ada.K() <= 1 {
+		t.Fatalf("AdaSync never grew K: %d", ada.K())
+	}
+	if trace.FinalLoss() >= trace.Points[0].Loss/2 {
+		t.Fatalf("AdaSync failed to learn: %v -> %v",
+			trace.Points[0].Loss, trace.FinalLoss())
+	}
+}
+
+func TestDelayModelFromProfile(t *testing.T) {
+	y, push := DelayModelFromProfile(delaymodel.VGG16Profile(), 4)
+	if y.Mean() <= 0 {
+		t.Fatal("compute distribution empty")
+	}
+	// Push delay is the broadcast delay scaled down by m.
+	want := delaymodel.VGG16Profile().CommD0.Mean() / 4
+	if math.Abs(push.Mean()-want) > 1e-12 {
+		t.Fatalf("push mean %v, want %v", push.Mean(), want)
+	}
+}

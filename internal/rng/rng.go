@@ -1,0 +1,137 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator and the probability distributions used throughout the AdaComm
+// reproduction: local-step compute times Y, communication delays D, data
+// synthesis, and Monte-Carlo runtime experiments.
+//
+// Determinism matters here: every experiment in the paper reproduction is
+// seeded, so that figures and tables regenerate identically run-to-run.
+// The generator is xoshiro256**, seeded via SplitMix64, which is the
+// combination recommended by the xoshiro authors. Split creates an
+// independent stream, which lets each simulated worker own its own
+// generator without cross-worker coupling.
+package rng
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator (xoshiro256**).
+// It is NOT safe for concurrent use; use Split to derive independent
+// streams for concurrent consumers.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used for seeding only.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed. Two generators with
+// the same seed produce identical streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro requires a non-zero state; SplitMix64 guarantees this with
+	// overwhelming probability, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is independent of the
+// receiver's future outputs. The receiver is advanced.
+func (r *Rand) Split() *Rand {
+	// Derive a fresh seed from the parent stream and re-expand through
+	// SplitMix64 so parent and child states are decorrelated.
+	return New(r.Uint64() ^ 0xA3EC647659359ACD)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling would be faster, but
+	// simple modulo rejection keeps the implementation auditable; the bias
+	// rejection loop guarantees uniformity.
+	bound := uint64(n)
+	threshold := -bound % bound // (2^64 - bound) mod bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles the slice in place (Fisher-Yates).
+func (r *Rand) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal sample (Box-Muller, polar form).
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential sample with rate 1 (mean 1).
+func (r *Rand) ExpFloat64() float64 {
+	// Inverse CDF on (0,1]; 1-Float64() avoids log(0).
+	return -math.Log(1 - r.Float64())
+}

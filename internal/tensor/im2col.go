@@ -1,0 +1,95 @@
+package tensor
+
+// Im2Col lowers a convolution into a matrix multiply. The input image has
+// shape (channels, height, width) stored channel-major in a flat slice. The
+// output matrix has one row per output spatial position and one column per
+// (channel, kh, kw) patch element, so that
+//
+//	out = patches (outH*outW x C*K*K)  *  kernels^T (C*K*K x F)
+//
+// computes all F filters at once. Zero padding is applied symmetrically.
+type ConvShape struct {
+	Channels, Height, Width int // input shape
+	Kernel                  int // square kernel size K
+	Stride                  int
+	Pad                     int
+}
+
+// OutHeight returns the convolution output height.
+func (s ConvShape) OutHeight() int { return (s.Height+2*s.Pad-s.Kernel)/s.Stride + 1 }
+
+// OutWidth returns the convolution output width.
+func (s ConvShape) OutWidth() int { return (s.Width+2*s.Pad-s.Kernel)/s.Stride + 1 }
+
+// PatchLen returns the number of elements per patch row (C*K*K).
+func (s ConvShape) PatchLen() int { return s.Channels * s.Kernel * s.Kernel }
+
+// Im2Col fills dst (OutHeight*OutWidth rows x PatchLen cols) with image
+// patches from img (length Channels*Height*Width). Out-of-bounds (padding)
+// elements are zero.
+func Im2Col(s ConvShape, img []float64, dst *Matrix) {
+	outH, outW := s.OutHeight(), s.OutWidth()
+	if len(img) != s.Channels*s.Height*s.Width {
+		panic("tensor: Im2Col image length mismatch")
+	}
+	if dst.Rows != outH*outW || dst.Cols != s.PatchLen() {
+		panic("tensor: Im2Col dst shape mismatch")
+	}
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			d := dst.Row(row)
+			idx := 0
+			for c := 0; c < s.Channels; c++ {
+				base := c * s.Height * s.Width
+				for ky := 0; ky < s.Kernel; ky++ {
+					iy := oy*s.Stride + ky - s.Pad
+					for kx := 0; kx < s.Kernel; kx++ {
+						ix := ox*s.Stride + kx - s.Pad
+						if iy < 0 || iy >= s.Height || ix < 0 || ix >= s.Width {
+							d[idx] = 0
+						} else {
+							d[idx] = img[base+iy*s.Width+ix]
+						}
+						idx++
+					}
+				}
+			}
+			row++
+		}
+	}
+}
+
+// Col2Im scatter-adds patch gradients back into an image gradient: the
+// adjoint of Im2Col. dst (length Channels*Height*Width) is NOT zeroed first,
+// so callers can accumulate.
+func Col2Im(s ConvShape, patches *Matrix, dst []float64) {
+	outH, outW := s.OutHeight(), s.OutWidth()
+	if len(dst) != s.Channels*s.Height*s.Width {
+		panic("tensor: Col2Im image length mismatch")
+	}
+	if patches.Rows != outH*outW || patches.Cols != s.PatchLen() {
+		panic("tensor: Col2Im patches shape mismatch")
+	}
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			p := patches.Row(row)
+			idx := 0
+			for c := 0; c < s.Channels; c++ {
+				base := c * s.Height * s.Width
+				for ky := 0; ky < s.Kernel; ky++ {
+					iy := oy*s.Stride + ky - s.Pad
+					for kx := 0; kx < s.Kernel; kx++ {
+						ix := ox*s.Stride + kx - s.Pad
+						if iy >= 0 && iy < s.Height && ix >= 0 && ix < s.Width {
+							dst[base+iy*s.Width+ix] += p[idx]
+						}
+						idx++
+					}
+				}
+			}
+			row++
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package tensor provides the dense linear-algebra substrate for the
+// hand-rolled neural-network stack: float64 vectors and row-major matrices
+// with the handful of BLAS-like kernels (axpy, dot, gemv, gemm, im2col) that
+// mini-batch SGD on MLPs and small CNNs requires.
+//
+// Everything is plain Go over []float64 — no assembly, no cgo — because the
+// reproduction targets algorithmic shape (error-vs-simulated-time curves),
+// not absolute FLOP throughput.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector ops operate on raw []float64 slices so model parameters can live in
+// one contiguous buffer and be averaged across workers with a single loop.
+
+// Axpy computes y += alpha * x. Panics if lengths differ.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal computes x *= alpha.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of x and y. Panics if lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Copy copies src into dst. Panics if lengths differ.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Copy length mismatch %d vs %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Add computes dst = a + b elementwise. Panics if lengths differ.
+func Add(dst, a, b []float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise. Panics if lengths differ.
+func Sub(dst, a, b []float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Mean computes dst = elementwise mean of the given vectors, the model
+// averaging step of PASGD (paper eq 3). Panics on an empty set or length
+// mismatch.
+func Mean(dst []float64, vecs ...[]float64) {
+	if len(vecs) == 0 {
+		panic("tensor: Mean of zero vectors")
+	}
+	Zero(dst)
+	for _, v := range vecs {
+		Axpy(1, v, dst)
+	}
+	Scal(1/float64(len(vecs)), dst)
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // length Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Gemv computes y = alpha*A*x + beta*y for a row-major A (Rows x Cols),
+// len(x) == Cols, len(y) == Rows.
+func Gemv(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic("tensor: Gemv dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = alpha*s + beta*y[i]
+	}
+}
+
+// GemvT computes y = alpha*A^T*x + beta*y, len(x) == Rows, len(y) == Cols.
+func GemvT(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic("tensor: GemvT dimension mismatch")
+	}
+	if beta != 1 {
+		for j := range y {
+			y[j] *= beta
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		ax := alpha * x[i]
+		if ax == 0 {
+			continue
+		}
+		for j, v := range row {
+			y[j] += ax * v
+		}
+	}
+}
+
+// Gemm computes C = alpha*A*B + beta*C. A is (M x K), B is (K x N),
+// C is (M x N). The k-inner ordering keeps B accesses sequential.
+func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("tensor: Gemm dimension mismatch")
+	}
+	if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		crow := c.Row(i)
+		arow := a.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := alpha * arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += aik * bv
+			}
+		}
+	}
+}
+
+// GemmTA computes C = alpha*A^T*B + beta*C. A is (K x M), B is (K x N),
+// C is (M x N).
+func GemmTA(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic("tensor: GemmTA dimension mismatch")
+	}
+	if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			aik := alpha * av
+			if aik == 0 {
+				continue
+			}
+			crow := c.Row(i)
+			for j, bv := range brow {
+				crow[j] += aik * bv
+			}
+		}
+	}
+}
+
+// GemmTB computes C = alpha*A*B^T + beta*C. A is (M x K), B is (N x K),
+// C is (M x N).
+func GemmTB(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic("tensor: GemmTB dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			s := Dot(arow, b.Row(j))
+			crow[j] = alpha*s + beta*crow[j]
+		}
+	}
+}
