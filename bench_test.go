@@ -245,3 +245,16 @@ func BenchmarkRuntimeSampling(b *testing.B) {
 		dm.SamplePerIteration(10, r)
 	}
 }
+
+func BenchmarkCompressionGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunCompressionGrid(experiments.DefaultCompressionGrid(experiments.ScaleQuick))
+		experiments.PrintCompressionGrid(io.Discard, res)
+	}
+}
+
+func BenchmarkCompressionTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PrintCompressionTradeoff(io.Discard, experiments.CompressionTradeoff(experiments.ScaleQuick))
+	}
+}

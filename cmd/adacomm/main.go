@@ -7,6 +7,8 @@
 //	adacomm -arch vgg -method adacomm -tau0 20 -budget 300
 //	adacomm -arch resnet -method fixed -tau 5 -budget 240
 //	adacomm -arch logistic -method fixed -tau 1 -workers 8 -lr 0.1
+//	adacomm -arch logistic -method fixed -tau 5 -compress topk:0.25+ef -bandwidth 128
+//	adacomm -arch vgg -method adacomm -compress topk:0.05 -bandwidth 4096 -adapt-compression
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -37,13 +40,44 @@ func main() {
 	blockMomentum := flag.Float64("block-momentum", 0, "global block momentum factor")
 	seed := flag.Uint64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	compressFlag := flag.String("compress", "none",
+		"delta compression: none | identity | topk:0.01 | randk:0.05 | qsgd:4 (append +ef for error feedback)")
+	bandwidth := flag.Float64("bandwidth", 0,
+		"per-link bandwidth in bytes per simulated second (0 = infinite, size-free broadcasts)")
+	adaptCompression := flag.Bool("adapt-compression", false,
+		"with -method adacomm: jointly adapt (tau, compression ratio) per interval")
 	flag.Parse()
+
+	spec, err := compress.ParseSpec(*compressFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(2)
+	}
+	if *bandwidth < 0 {
+		fmt.Fprintf(os.Stderr, "adacomm: -bandwidth %g must be >= 0 (0 = infinite)\n", *bandwidth)
+		os.Exit(2)
+	}
+	if *adaptCompression && !spec.Enabled() {
+		fmt.Fprintln(os.Stderr, "adacomm: -adapt-compression needs a -compress scheme")
+		os.Exit(2)
+	}
+	if *adaptCompression && spec.Kind == compress.KindIdentity {
+		fmt.Fprintln(os.Stderr, "adacomm: -adapt-compression needs an adaptive compressor (topk/randk/qsgd)")
+		os.Exit(2)
+	}
+	if *adaptCompression && *method != "adacomm" {
+		fmt.Fprintln(os.Stderr, "adacomm: -adapt-compression requires -method adacomm")
+		os.Exit(2)
+	}
 
 	scale := experiments.ScaleFull
 	if *quick {
 		scale = experiments.ScaleQuick
 	}
 	w := experiments.BuildWorkload(experiments.Arch(*arch), *classes, *workers, scale, *seed)
+	if *bandwidth > 0 {
+		w.Delay.Bandwidth = *bandwidth
+	}
 
 	var sched sgd.Schedule = sgd.Const{Eta: *lr}
 	if *variableLR {
@@ -58,6 +92,7 @@ func main() {
 		EvalEvery:     100,
 		EvalSubset:    512,
 		AccEverySync:  5,
+		Compress:      spec,
 		Seed:          *seed + 1,
 	}
 	engine := w.Engine(cfg)
@@ -67,14 +102,20 @@ func main() {
 	case "fixed":
 		ctrl = cluster.FixedTau{Tau: *tau, Schedule: sched}
 	case "adacomm":
-		ctrl = core.NewAdaComm(core.Config{
+		coreCfg := core.Config{
 			Tau0:         *tau0,
 			Interval:     *interval,
 			Gamma:        0.5,
 			Schedule:     sched,
 			Coupling:     couplingFlag(*variableLR),
 			DeferLRDecay: *variableLR,
-		})
+		}
+		if *adaptCompression {
+			ctrl = core.NewAdaCommCompress(coreCfg,
+				core.CompressSchedule{Ratio0: spec.InitialRatio()})
+		} else {
+			ctrl = core.NewAdaComm(coreCfg)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "adacomm: unknown method %q\n", *method)
 		os.Exit(2)

@@ -9,4 +9,14 @@
 // under cmd/, runnable examples under examples/, and every figure and table
 // of the paper's evaluation regenerates via cmd/figures or the benchmark
 // harness in bench_test.go at this directory.
+//
+// Beyond the paper, internal/compress models the communication-VOLUME axis
+// of the trade-off: gradient/delta compression (top-k, random-k, QSGD-style
+// quantization, with optional error feedback), a size-aware broadcast cost
+// D = (latency + bytes/bandwidth) * s(m) in internal/delaymodel, compressed
+// delta-averaging in internal/cluster, a compressed parameter-server push
+// in internal/paramserver, and a joint (tau, compression-ratio) adaptive
+// controller in internal/core. See examples/compression and the
+// compression grid in internal/experiments for the error-runtime payoff on
+// bandwidth-constrained links.
 package repro

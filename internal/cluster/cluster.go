@@ -10,6 +10,22 @@
 // paper's Sec 3.1, and it is what places simulated seconds on the x-axis of
 // the reproduced figures.
 //
+// # Compressed averaging
+//
+// When Config.Compress names a compressor (internal/compress), the
+// averaging step exchanges compressed DELTAS instead of raw parameter
+// vectors: each worker i compresses x_i - x_glob (its movement since the
+// last synchronization, routed through its private error-feedback residual
+// if configured), the deltas are decompressed and averaged, and the new
+// synchronized model x_glob + mean(delta_hat_i) is broadcast back. The
+// round's communication payload is max_i Bytes(msg_i) — a symmetric
+// all-gather where per-link transfers overlap and the delay model's s(m)
+// accounts for topology — and delaymodel.SampleDBytes charges
+// (latency + bytes/bandwidth) * s(m) for it. With the zero-value
+// Compress spec the engine takes the legacy raw-averaging path and, because
+// an infinite-bandwidth link ignores payload size, reproduces pre-compression
+// traces bit for bit.
+//
 // Two execution backends are provided: the deterministic lock-step engine
 // (Engine.Run) used by all experiments, and a goroutine-parallel backend
 // (Engine.RunParallel) in which every worker runs in its own goroutine and
@@ -22,6 +38,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/delaymodel"
 	"repro/internal/metrics"
@@ -76,6 +93,12 @@ type Config struct {
 	ElasticAlpha float64
 	ElasticBeta  float64
 
+	// Compress selects the delta-compression scheme used at averaging
+	// points (see the package comment). The zero value (compress.None)
+	// keeps the legacy raw-vector averaging path, bit-identical to the
+	// pre-compression engine. Requires FullAveraging.
+	Compress compress.Spec
+
 	Seed uint64
 }
 
@@ -91,6 +114,14 @@ func (c Config) validate(m int) error {
 	}
 	if c.BlockMomentum != 0 && c.Strategy != FullAveraging {
 		return fmt.Errorf("cluster: block momentum requires FullAveraging, got %s", c.Strategy)
+	}
+	if c.Compress.Enabled() {
+		if err := c.Compress.Validate(); err != nil {
+			return err
+		}
+		if c.Strategy != FullAveraging {
+			return fmt.Errorf("cluster: compression requires FullAveraging, got %s", c.Strategy)
+		}
 	}
 	return nil
 }
@@ -113,6 +144,15 @@ type RoundInfo struct {
 type Controller interface {
 	NextRound(info RoundInfo, evalLoss func() float64) (tau int, lr float64)
 	Name() string
+}
+
+// RatioController is optionally implemented by controllers that adapt the
+// compression keep-ratio jointly with tau (e.g. core.AdaCommCompress). When
+// the controller implements it, the engine retunes every adaptive
+// compressor to CompressionRatio() before each round.
+type RatioController interface {
+	Controller
+	CompressionRatio() float64
 }
 
 // FixedTau is the baseline controller: constant communication period with a
@@ -151,6 +191,15 @@ type Engine struct {
 	delay *delaymodel.Model
 	slow  []float64 // per-worker compute slowdown factors
 	r     *rng.Rand // delay sampling stream
+
+	// Compression state: comps[i] is worker i's compressor (owning its
+	// error-feedback residual and stochastic stream); nil when the legacy
+	// raw-averaging path is active. lastCommBytes is the per-link payload
+	// of the most recent averaging step, charged by roundTime.
+	comps         []compress.Compressor
+	deltaBuf      []float64
+	sumBuf        []float64
+	lastCommBytes int
 
 	evalModel *nn.Network // scratch replica for loss/accuracy evaluation
 	evalSet   *data.Dataset
@@ -232,6 +281,22 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 	if test != nil {
 		e.testBatch = data.FullBatch(test)
 	}
+	// A round's broadcast payload defaults to the dense model; compressed
+	// averaging overwrites it per round. Compressor construction comes last
+	// so the None path consumes exactly the legacy RNG stream.
+	e.lastCommBytes = 8 * e.dim
+	if cfg.Compress.Enabled() {
+		e.comps = make([]compress.Compressor, m)
+		for i := range e.comps {
+			c, err := cfg.Compress.New(root.Split())
+			if err != nil {
+				return nil, err
+			}
+			e.comps[i] = c
+		}
+		e.deltaBuf = make([]float64, e.dim)
+		e.sumBuf = make([]float64, e.dim)
+	}
 	return e, nil
 }
 
@@ -265,7 +330,10 @@ func (e *Engine) TestAccuracy() float64 {
 
 // roundTime samples the wall-clock duration of a round of `steps` local
 // iterations followed by one averaging broadcast, honoring per-worker
-// straggler factors: max_i slow_i * sum_k Y + D.
+// straggler factors: max_i slow_i * sum_k Y + D. The broadcast is charged
+// the size-aware cost of the round's payload (the compressed message size
+// when compression is active, the dense model otherwise); on an
+// infinite-bandwidth link this is the paper's fixed D.
 func (e *Engine) roundTime(steps int) float64 {
 	mx := math.Inf(-1)
 	for i := 0; i < e.m; i++ {
@@ -277,7 +345,21 @@ func (e *Engine) roundTime(steps int) float64 {
 			mx = v
 		}
 	}
-	return mx + e.delay.SampleD(e.r)
+	return mx + e.delay.SampleDBytes(e.r, e.lastCommBytes)
+}
+
+// CommBytesPerRound returns the per-link payload charged for the most
+// recent averaging broadcast.
+func (e *Engine) CommBytesPerRound() int { return e.lastCommBytes }
+
+// setCompressionRatio retunes every adaptive compressor to the given
+// keep-ratio (no-op on the legacy path or for fixed-rate compressors).
+func (e *Engine) setCompressionRatio(r float64) {
+	for _, c := range e.comps {
+		if a, ok := c.(compress.Adaptive); ok {
+			a.SetRatio(r)
+		}
+	}
 }
 
 // average synchronizes the replicas according to the configured strategy
@@ -296,14 +378,19 @@ func (e *Engine) average() {
 
 // averageFull is PASGD's simple averaging (paper eq 3): global <- mean of
 // worker models (optionally block-momentum filtered), pushed back into
-// every replica.
+// every replica. With compression active, the mean is computed from
+// compressed per-worker deltas instead of raw vectors.
 func (e *Engine) averageFull() {
 	avg := make([]float64, e.dim)
-	vecs := make([][]float64, e.m)
-	for i, w := range e.workers {
-		vecs[i] = w.model.Params()
+	if e.comps != nil {
+		e.lastCommBytes = e.compressedDeltaMean(avg)
+	} else {
+		vecs := make([][]float64, e.m)
+		for i, w := range e.workers {
+			vecs[i] = w.model.Params()
+		}
+		tensor.Mean(avg, vecs...)
 	}
-	tensor.Mean(avg, vecs...)
 
 	if e.cfg.BlockMomentum != 0 {
 		// Displacement-form block momentum (paper eq 24-25): treat the
@@ -329,6 +416,37 @@ func (e *Engine) averageFull() {
 			w.opt.ResetMomentum()
 		}
 	}
+}
+
+// compressedDeltaMean runs the compressed all-reduce: each worker's delta
+// from the last synchronized model is compressed (through its error-feedback
+// residual if configured), decompressed, and averaged; avg receives
+// x_glob + mean(delta_hat_i). Returns the round's per-link payload,
+// max_i Bytes(msg_i). Compression happens in fixed worker order on the
+// engine's own streams, which is why Run and RunParallel stay bitwise
+// identical under every compressor.
+func (e *Engine) compressedDeltaMean(avg []float64) int {
+	tensor.Zero(e.sumBuf)
+	maxBytes := 0
+	for i, w := range e.workers {
+		tensor.Sub(e.deltaBuf, w.model.Params(), e.global)
+		msg, err := e.comps[i].Compress(e.deltaBuf)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: worker %d compress: %v", i, err))
+		}
+		if b := msg.Bytes(); b > maxBytes {
+			maxBytes = b
+		}
+		if err := e.comps[i].Decompress(msg, e.deltaBuf); err != nil {
+			panic(fmt.Sprintf("cluster: worker %d decompress: %v", i, err))
+		}
+		tensor.Axpy(1, e.deltaBuf, e.sumBuf)
+	}
+	inv := 1 / float64(e.m)
+	for j := range avg {
+		avg[j] = e.global[j] + e.sumBuf[j]*inv
+	}
+	return maxBytes
 }
 
 // Run executes PASGD under the given controller until a stop condition is
@@ -367,6 +485,9 @@ func (e *Engine) Run(ctrl Controller, traceName string) *metrics.Trace {
 		if tau < 1 {
 			panic(fmt.Sprintf("cluster: controller %s returned tau=%d", ctrl.Name(), tau))
 		}
+		if rc, ok := ctrl.(RatioController); ok {
+			e.setCompressionRatio(rc.CompressionRatio())
+		}
 		// Trim the round to the iteration budget so runs are comparable.
 		steps := tau
 		if e.cfg.MaxIters > 0 {
@@ -386,8 +507,12 @@ func (e *Engine) Run(ctrl Controller, traceName string) *metrics.Trace {
 			}
 			info.Iter++
 		}
-		info.Time += e.roundTime(steps)
+		// Averaging precedes the clock update so roundTime can charge this
+		// round's (possibly compressed) broadcast payload. Neither step
+		// draws from the other's RNG stream, so the order swap leaves
+		// legacy traces untouched.
 		e.average()
+		info.Time += e.roundTime(steps)
 		info.Round++
 		info.Epoch = e.workers[0].sampler.Epoch()
 		info.LastTau = tau

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/sgd"
+)
+
+// everySpec is the full set of shipped compressors (with and without error
+// feedback for the stochastic/biased ones) that the engine must support.
+func everySpec() []compress.Spec {
+	return []compress.Spec{
+		{Kind: compress.KindIdentity},
+		{Kind: compress.KindTopK, Ratio: 0.25},
+		{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true},
+		{Kind: compress.KindRandK, Ratio: 0.5},
+		{Kind: compress.KindRandK, Ratio: 0.5, ErrorFeedback: true},
+		{Kind: compress.KindQSGD, Bits: 6},
+		{Kind: compress.KindQSGD, Bits: 6, ErrorFeedback: true},
+	}
+}
+
+func TestParallelMatchesSequentialUnderEveryCompressor(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	for _, spec := range everySpec() {
+		t.Run(spec.String(), func(t *testing.T) {
+			cfg := baseCfg()
+			cfg.MaxIters = 200
+			cfg.Compress = spec
+			e1 := s.engine(t, cfg)
+			e2 := s.engine(t, cfg)
+			tr1 := e1.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "seq")
+			tr2 := e2.RunParallel(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "par")
+			p1, p2 := e1.GlobalParams(), e2.GlobalParams()
+			for i := range p1 {
+				if p1[i] != p2[i] {
+					t.Fatalf("parallel diverged at param %d: %v vs %v", i, p1[i], p2[i])
+				}
+			}
+			if tr1.Len() != tr2.Len() {
+				t.Fatalf("trace lengths differ: %d vs %d", tr1.Len(), tr2.Len())
+			}
+			for i := range tr1.Points {
+				if tr1.Points[i].Loss != tr2.Points[i].Loss || tr1.Points[i].Time != tr2.Points[i].Time {
+					t.Fatalf("traces differ at point %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestIdentityCompressionMatchesUncompressedClosely(t *testing.T) {
+	// The identity compressor routes averaging through the delta protocol:
+	// global + mean(x_i - global) instead of mean(x_i). Algebraically equal,
+	// so trajectories must agree to float rounding and train identically
+	// well (they are NOT required to be bitwise equal — only the None path
+	// preserves the legacy arithmetic).
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	base := s.engine(t, cfg)
+	trBase := base.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "raw")
+
+	cfg.Compress = compress.Spec{Kind: compress.KindIdentity}
+	comp := s.engine(t, cfg)
+	trComp := comp.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "identity")
+
+	pb, pc := base.GlobalParams(), comp.GlobalParams()
+	for i := range pb {
+		d := pb[i] - pc[i]
+		if d < -1e-9 || d > 1e-9 {
+			t.Fatalf("identity path drifted at param %d: %v vs %v", i, pb[i], pc[i])
+		}
+	}
+	if trComp.FinalLoss() >= trBase.Points[0].Loss/2 {
+		t.Fatal("identity-compressed run failed to learn")
+	}
+}
+
+func TestCompressedPASGDConvergesWithErrorFeedback(t *testing.T) {
+	// Aggressive top-k with error feedback must still train.
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.MaxIters = 800
+	cfg.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.1, ErrorFeedback: true}
+	e := s.engine(t, cfg)
+	trace := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "topk-ef")
+	if trace.FinalLoss() >= trace.Points[0].Loss/2 {
+		t.Fatalf("compressed PASGD failed to learn: %v -> %v",
+			trace.Points[0].Loss, trace.FinalLoss())
+	}
+}
+
+func TestCompressionShrinksRoundPayload(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.MaxIters = 50
+	dense := s.engine(t, cfg)
+	dense.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "dense")
+	denseBytes := dense.CommBytesPerRound()
+	if want := 8 * dense.Dim(); denseBytes != want {
+		t.Fatalf("dense payload %d, want %d", denseBytes, want)
+	}
+
+	cfg.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.1}
+	sparse := s.engine(t, cfg)
+	sparse.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "sparse")
+	if got := sparse.CommBytesPerRound(); got >= denseBytes/2 {
+		t.Fatalf("top-k payload %d not meaningfully below dense %d", got, denseBytes)
+	}
+}
+
+func TestBandwidthChargesPayloadTime(t *testing.T) {
+	// Same iteration budget, finite bandwidth: the compressed run must
+	// finish in less simulated wall-clock time than the dense run.
+	s := newSetup(t, 4, 1)
+	s.dm.Bandwidth = 64 // bytes per simulated second: dense sync is expensive
+	defer func() { s.dm.Bandwidth = 0 }()
+
+	run := func(spec compress.Spec) float64 {
+		cfg := baseCfg()
+		cfg.MaxIters = 100
+		cfg.Compress = spec
+		e := s.engine(t, cfg)
+		return e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "t").Last().Time
+	}
+	denseT := run(compress.Spec{})
+	sparseT := run(compress.Spec{Kind: compress.KindTopK, Ratio: 0.1, ErrorFeedback: true})
+	if sparseT >= denseT {
+		t.Fatalf("compressed run not faster under finite bandwidth: %v vs %v", sparseT, denseT)
+	}
+}
+
+func TestCompressionRejectsNonFullAveraging(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.Strategy = RingGossip
+	cfg.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.1}
+	if _, err := New(s.proto, s.shards, s.train, s.test, s.dm, cfg); err == nil {
+		t.Fatal("accepted compression with ring gossip")
+	}
+	cfg = baseCfg()
+	cfg.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 7}
+	if _, err := New(s.proto, s.shards, s.train, s.test, s.dm, cfg); err == nil {
+		t.Fatal("accepted invalid compress spec")
+	}
+}
+
+// ratioSpy is a RatioController that walks the ratio up each round.
+type ratioSpy struct {
+	FixedTau
+	ratio float64
+}
+
+func (r *ratioSpy) NextRound(info RoundInfo, eval func() float64) (int, float64) {
+	r.ratio += 0.2
+	if r.ratio > 1 {
+		r.ratio = 1
+	}
+	return r.FixedTau.NextRound(info, eval)
+}
+
+func (r *ratioSpy) CompressionRatio() float64 { return r.ratio }
+
+func TestRatioControllerDrivesAdaptiveCompressors(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.MaxIters = 100
+	cfg.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.05}
+	e := s.engine(t, cfg)
+	ctrl := &ratioSpy{FixedTau: FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, ratio: 0.05}
+	e.Run(ctrl, "adaptive")
+	// By the last rounds the ratio reached 1.0, so the final payload must
+	// be the full support: dim coordinates at 12 bytes each.
+	if got, want := e.CommBytesPerRound(), 12*e.Dim(); got != want {
+		t.Fatalf("final payload %d, want %d (ratio driven to 1)", got, want)
+	}
+}

@@ -11,8 +11,9 @@ import (
 // RunParallel executes the same PASGD procedure as Run, but each worker's
 // local-update loop runs in its own goroutine and model averaging is a real
 // barrier all-reduce implemented with channels: every worker contributes
-// its parameter vector to a reducer, which averages (applying block
-// momentum if configured) and broadcasts the synchronized model back.
+// its parameter vector to a reducer, which averages (compressing deltas and
+// applying block momentum if configured) and broadcasts the synchronized
+// model back.
 //
 // Given the same Config.Seed, RunParallel produces the same parameter
 // trajectory as Run: per-worker RNG streams are independent, workers do not
@@ -59,6 +60,9 @@ func (e *Engine) RunParallel(ctrl Controller, traceName string) *metrics.Trace {
 		tau, lr := ctrl.NextRound(info, evalLoss)
 		if tau < 1 {
 			panic(fmt.Sprintf("cluster: controller %s returned tau=%d", ctrl.Name(), tau))
+		}
+		if rc, ok := ctrl.(RatioController); ok {
+			e.setCompressionRatio(rc.CompressionRatio())
 		}
 		steps := tau
 		if e.cfg.MaxIters > 0 {

@@ -1,0 +1,72 @@
+package compress
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The compression hot path runs once per worker per averaging round, on a
+// vector the size of the full model. VGG-16 has ~1.4e8 parameters; these
+// benchmarks use 2^20 coordinates so the suite stays fast while the
+// asymptotics (quickselect vs full sort, per-coordinate quantization cost)
+// are already visible. They are the baseline for future perf PRs.
+
+const benchDim = 1 << 20
+
+func benchVec() []float64 {
+	r := rng.New(42)
+	v := make([]float64, benchDim)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+func benchCompressor(b *testing.B, c Compressor) {
+	b.Helper()
+	v := benchVec()
+	dst := make([]float64, benchDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg, err := c.Compress(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Decompress(msg, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(8 * benchDim))
+}
+
+func BenchmarkTopK1pct(b *testing.B)  { benchCompressor(b, NewTopK(0.01)) }
+func BenchmarkTopK10pct(b *testing.B) { benchCompressor(b, NewTopK(0.1)) }
+
+func BenchmarkRandK1pct(b *testing.B) { benchCompressor(b, NewRandK(0.01, rng.New(1))) }
+
+func BenchmarkQSGD4bit(b *testing.B) { benchCompressor(b, NewQSGD(4, rng.New(2))) }
+func BenchmarkQSGD8bit(b *testing.B) { benchCompressor(b, NewQSGD(8, rng.New(3))) }
+
+func BenchmarkTopKWithErrorFeedback(b *testing.B) {
+	benchCompressor(b, WithErrorFeedback(NewTopK(0.01)))
+}
+
+// BenchmarkTopKSelection isolates the quickselect threshold step, the
+// dominant cost of top-k on large vectors.
+func BenchmarkTopKSelection(b *testing.B) {
+	v := benchVec()
+	mags := make([]float64, benchDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range v {
+			if x < 0 {
+				x = -x
+			}
+			mags[j] = x
+		}
+		selectKthLargest(mags, benchDim/100)
+	}
+}

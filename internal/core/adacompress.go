@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// CompressSchedule parameterizes the compression half of the joint
+// (tau, ratio) controller. The keep-ratio follows the mirror image of the
+// tau rule: AdaComm starts with infrequent communication and decays tau as
+// the loss falls (eq 17); AdaCommCompress additionally starts with
+// aggressive compression and RAISES the wire fidelity as the loss falls,
+//
+//	ratio_l = min(MaxRatio, Ratio0 * sqrt(F(x_0)/F(x_l)))
+//
+// with the same saturation refinement as eq 18: when the rule fails to
+// strictly raise the ratio (the loss has plateaued), the ratio is relaxed
+// multiplicatively by 1/Gamma instead, so a stalled run converges to
+// full-fidelity communication rather than staying noisy forever.
+type CompressSchedule struct {
+	// Ratio0 is the initial keep-ratio (e.g. 0.05 = send 5% of
+	// coordinates). Must be in (0, 1].
+	Ratio0 float64
+	// MaxRatio caps the adapted ratio (default 1 = lossless support).
+	MaxRatio float64
+	// Gamma is the saturation relaxation factor in (0, 1); each saturated
+	// interval divides the compression aggressiveness by Gamma. Defaults to
+	// the tau rule's Gamma.
+	Gamma float64
+}
+
+func (cs CompressSchedule) withDefaults(tauGamma float64) CompressSchedule {
+	if cs.MaxRatio <= 0 || cs.MaxRatio > 1 {
+		cs.MaxRatio = 1
+	}
+	if cs.Gamma <= 0 || cs.Gamma >= 1 {
+		cs.Gamma = tauGamma
+	}
+	return cs
+}
+
+// AdaCommCompress jointly adapts the communication period tau AND the
+// compression keep-ratio per wall-clock interval, implementing
+// cluster.RatioController. Tau follows the standard AdaComm rules; the
+// ratio follows CompressSchedule on the same interval boundaries, sharing
+// the interval's single loss evaluation. Stateful; do not reuse across runs.
+type AdaCommCompress struct {
+	ada *AdaComm
+	cs  CompressSchedule
+
+	initialized  bool
+	f0           float64
+	ratio        float64
+	nextBoundary float64
+}
+
+// NewAdaCommCompress builds the joint controller from the AdaComm config
+// (tau/LR half) and a compression schedule (ratio half).
+func NewAdaCommCompress(cfg Config, cs CompressSchedule) *AdaCommCompress {
+	ada := NewAdaComm(cfg)
+	cs = cs.withDefaults(ada.cfg.Gamma)
+	if cs.Ratio0 <= 0 || cs.Ratio0 > 1 {
+		panic("core: AdaCommCompress needs Ratio0 in (0, 1]")
+	}
+	return &AdaCommCompress{ada: ada, cs: cs}
+}
+
+// Name implements cluster.Controller.
+func (a *AdaCommCompress) Name() string { return "AdaComm+Compress" }
+
+// Tau returns the communication period currently in effect.
+func (a *AdaCommCompress) Tau() int { return a.ada.Tau() }
+
+// CompressionRatio implements cluster.RatioController.
+func (a *AdaCommCompress) CompressionRatio() float64 { return a.ratio }
+
+// NextRound implements cluster.Controller: tau and the learning rate come
+// from the embedded AdaComm; the ratio is re-chosen at the same interval
+// boundaries, reusing the boundary's loss evaluation.
+func (a *AdaCommCompress) NextRound(info cluster.RoundInfo, evalLoss func() float64) (int, float64) {
+	cached := math.NaN()
+	memo := func() float64 {
+		if math.IsNaN(cached) {
+			cached = evalLoss()
+		}
+		return cached
+	}
+	tau, lr := a.ada.NextRound(info, memo)
+	if !a.initialized {
+		a.f0 = memo()
+		if a.f0 <= 0 {
+			a.f0 = math.SmallestNonzeroFloat64
+		}
+		a.ratio = a.cs.Ratio0
+		a.nextBoundary = a.ada.cfg.Interval
+		a.initialized = true
+		return tau, lr
+	}
+	if info.Time >= a.nextBoundary {
+		a.adaptRatio(memo())
+		for a.nextBoundary <= info.Time {
+			a.nextBoundary += a.ada.cfg.Interval
+		}
+	}
+	return tau, lr
+}
+
+// adaptRatio applies the ratio rule and its saturation refinement at an
+// interval boundary.
+func (a *AdaCommCompress) adaptRatio(f float64) {
+	proposed := a.cs.MaxRatio
+	if f > 0 {
+		proposed = a.cs.Ratio0 * math.Sqrt(a.f0/f)
+	}
+	if proposed > a.cs.MaxRatio {
+		proposed = a.cs.MaxRatio
+	}
+	if proposed > a.ratio {
+		a.ratio = proposed
+		return
+	}
+	// Saturation: the loss ratio no longer justifies a fidelity increase,
+	// so force a multiplicative relaxation toward lossless communication.
+	relaxed := a.ratio / a.cs.Gamma
+	if relaxed > a.cs.MaxRatio {
+		relaxed = a.cs.MaxRatio
+	}
+	a.ratio = relaxed
+}

@@ -3,6 +3,25 @@
 // periodic-averaging SGD (PASGD) when local-step compute times Y_{i,k} are
 // i.i.d. random variables and each all-node broadcast costs D = D0 * s(m).
 //
+// Beyond the paper, the model is size-aware: a Model with a finite Bandwidth
+// (bytes per simulated second) charges each broadcast
+//
+//	D = (D0 + bytes/Bandwidth) * s(m)
+//
+// where bytes is the per-link payload of the round — the compressed message
+// size when internal/compress is active, the dense 8*dim otherwise. The
+// scaling s(m) multiplies the transfer term too, because every hop of the
+// broadcast topology carries the payload. Bandwidth = 0 means an infinite
+// link: SampleDBytes then degenerates to exactly the fixed-CommD0 cost of
+// SampleD (same value, same RNG draws), so every pre-existing profile and
+// trace is the bandwidth=infinity special case, bit for bit.
+//
+// Only SampleDBytes/MeanDBytes/AlphaBytes are size-aware. The paper-model
+// helpers (SampleD, MeanD, Alpha, SampleSyncIteration, SampleRound,
+// MeasureBreakdown, and the closed forms) deliberately charge the size-free
+// D of Sec 3.1 even on a bandwidth-constrained Model — pass the payload
+// explicitly via the *Bytes methods when analyzing a constrained link.
+//
 // The model supplies three things to the rest of the repo:
 //
 //  1. closed-form results where they exist (speed-up eq 12, exponential
@@ -61,8 +80,13 @@ func (TreeScaling) String() string { return "s(m)=2log2(m)" }
 type Model struct {
 	M     int              // number of workers
 	Y     rng.Distribution // per-local-step compute time at one worker
-	D0    rng.Distribution // base inter-node communication delay
+	D0    rng.Distribution // base inter-node communication delay (latency)
 	Scale Scaling          // delay growth with M
+
+	// Bandwidth is the per-link transfer rate in bytes per simulated
+	// second; 0 means infinite (the size-free broadcast of the paper's
+	// model, and the default for all legacy profiles).
+	Bandwidth float64
 }
 
 // New builds a delay model, defaulting Scale to ConstantScaling.
@@ -85,9 +109,38 @@ func (dm *Model) MeanY() float64 { return dm.Y.Mean() }
 // Alpha returns the communication/computation ratio alpha = E[D]/E[Y].
 func (dm *Model) Alpha() float64 { return dm.MeanD() / dm.MeanY() }
 
-// SampleD draws one broadcast delay D = D0 * s(M).
+// SampleD draws one broadcast delay D = D0 * s(M) for a size-free payload
+// (the paper's Sec 3.1 model; Bandwidth is ignored — see SampleDBytes).
 func (dm *Model) SampleD(r *rng.Rand) float64 {
 	return dm.D0.Sample(r) * dm.Scale.Factor(dm.M)
+}
+
+// SampleDBytes draws one broadcast delay for a payload of the given size:
+// D = (D0 + bytes/Bandwidth) * s(M). With Bandwidth = 0 (infinite link) it
+// is exactly SampleD — same value, same RNG consumption — so size-free
+// traces are preserved bit-identically.
+func (dm *Model) SampleDBytes(r *rng.Rand, bytes int) float64 {
+	d := dm.D0.Sample(r)
+	if dm.Bandwidth > 0 && bytes > 0 {
+		d += float64(bytes) / dm.Bandwidth
+	}
+	return d * dm.Scale.Factor(dm.M)
+}
+
+// MeanDBytes returns E[D] for a payload of the given size:
+// (E[D0] + bytes/Bandwidth) * s(M).
+func (dm *Model) MeanDBytes(bytes int) float64 {
+	d := dm.D0.Mean()
+	if dm.Bandwidth > 0 && bytes > 0 {
+		d += float64(bytes) / dm.Bandwidth
+	}
+	return d * dm.Scale.Factor(dm.M)
+}
+
+// AlphaBytes returns the communication/computation ratio for a payload of
+// the given size: MeanDBytes(bytes) / E[Y].
+func (dm *Model) AlphaBytes(bytes int) float64 {
+	return dm.MeanDBytes(bytes) / dm.MeanY()
 }
 
 // SampleSyncIteration draws one iteration time of fully synchronous SGD
@@ -182,6 +235,9 @@ type Profile struct {
 	Name     string
 	ComputeY rng.Distribution
 	CommD0   rng.Distribution
+	// Bandwidth is the per-link transfer rate in bytes per simulated
+	// second (0 = infinite, the legacy size-free behavior).
+	Bandwidth float64
 }
 
 // VGG16Profile returns the VGG-16-like calibration (alpha = 4): 0.05 s
@@ -205,9 +261,34 @@ func ResNet50Profile() Profile {
 	}
 }
 
+// Constrained returns a copy of the profile with a finite per-link
+// bandwidth (bytes per simulated second), turning it into a
+// bandwidth-limited scenario where communication cost depends on payload
+// size — the setting where gradient compression pays off.
+func (p Profile) Constrained(bandwidth float64) Profile {
+	p.Name = fmt.Sprintf("%s@%gB/s", p.Name, bandwidth)
+	p.Bandwidth = bandwidth
+	return p
+}
+
+// FederatedProfile models a WAN/edge link: negligible fixed latency but a
+// tight bandwidth, so broadcast cost is dominated by payload size. compute
+// is the mean per-step compute time; bandwidth is in bytes per simulated
+// second.
+func FederatedProfile(compute, bandwidth float64) Profile {
+	return Profile{
+		Name:      "federated",
+		ComputeY:  rng.ShiftedExponential{Shift: 0.8 * compute, Scale: 0.2 * compute},
+		CommD0:    rng.Constant{Value: 0.05 * compute},
+		Bandwidth: bandwidth,
+	}
+}
+
 // Model builds a delay model for m workers from the profile.
 func (p Profile) Model(m int, scale Scaling) *Model {
-	return New(m, p.ComputeY, p.CommD0, scale)
+	dm := New(m, p.ComputeY, p.CommD0, scale)
+	dm.Bandwidth = p.Bandwidth
+	return dm
 }
 
 // Breakdown is the computation/communication split of a run of iterations,

@@ -233,3 +233,78 @@ func TestSpeedupBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Size-aware communication cost.
+// ---------------------------------------------------------------------------
+
+func TestSampleDBytesInfiniteBandwidthIdentical(t *testing.T) {
+	// Bandwidth 0 must reproduce SampleD exactly: same values, same RNG
+	// consumption, for any payload size.
+	dm := New(4, rng.Constant{Value: 1}, rng.Exponential{MeanVal: 0.3}, TreeScaling{})
+	r1, r2 := rng.New(17), rng.New(17)
+	for i := 0; i < 100; i++ {
+		a := dm.SampleD(r1)
+		b := dm.SampleDBytes(r2, 1<<20)
+		if a != b {
+			t.Fatalf("sample %d: SampleD %v != SampleDBytes %v", i, a, b)
+		}
+	}
+}
+
+func TestSampleDBytesChargesTransfer(t *testing.T) {
+	dm := New(4, rng.Constant{Value: 1}, rng.Constant{Value: 0.5}, ConstantScaling{})
+	dm.Bandwidth = 1000 // bytes per simulated second
+	r := rng.New(1)
+	got := dm.SampleDBytes(r, 2000)
+	want := 0.5 + 2000.0/1000
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sized delay %v, want %v", got, want)
+	}
+	// Zero payload pays latency only.
+	if got := dm.SampleDBytes(r, 0); got != 0.5 {
+		t.Fatalf("zero payload delay %v, want 0.5", got)
+	}
+}
+
+func TestSampleDBytesScalesTransferWithTopology(t *testing.T) {
+	// The transfer term is carried by every hop: s(m) multiplies it too.
+	dm := New(8, rng.Constant{Value: 1}, rng.Constant{Value: 0.1}, LinearScaling{})
+	dm.Bandwidth = 100
+	r := rng.New(2)
+	got := dm.SampleDBytes(r, 50)
+	want := (0.1 + 0.5) * 8
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scaled sized delay %v, want %v", got, want)
+	}
+	if m := dm.MeanDBytes(50); math.Abs(m-want) > 1e-12 {
+		t.Fatalf("MeanDBytes %v, want %v", m, want)
+	}
+	if a := dm.AlphaBytes(50); math.Abs(a-want) > 1e-12 {
+		t.Fatalf("AlphaBytes %v, want %v (E[Y]=1)", a, want)
+	}
+}
+
+func TestConstrainedProfile(t *testing.T) {
+	p := VGG16Profile().Constrained(512)
+	dm := p.Model(4, ConstantScaling{})
+	if dm.Bandwidth != 512 {
+		t.Fatalf("bandwidth %v not propagated to model", dm.Bandwidth)
+	}
+	// The unconstrained profile's model keeps an infinite link.
+	if VGG16Profile().Model(4, ConstantScaling{}).Bandwidth != 0 {
+		t.Fatal("legacy profile grew a bandwidth")
+	}
+}
+
+func TestFederatedProfileBandwidthBound(t *testing.T) {
+	p := FederatedProfile(1.0, 100)
+	dm := p.Model(4, ConstantScaling{})
+	// A 1 KiB payload should dominate the tiny base latency.
+	if dm.MeanDBytes(1024) < 10 {
+		t.Fatalf("federated 1KiB broadcast %v, want >= 10 (bandwidth-bound)", dm.MeanDBytes(1024))
+	}
+	if dm.MeanD() > 0.1 {
+		t.Fatalf("federated latency %v, want small", dm.MeanD())
+	}
+}

@@ -327,3 +327,59 @@ func TestTable1Quick(t *testing.T) {
 		t.Fatal("PrintTable1 empty")
 	}
 }
+
+func TestCompressionTradeoff(t *testing.T) {
+	// Acceptance demo: on a bandwidth-constrained profile, compressed PASGD
+	// reaches the shared target loss in less simulated wall-clock time than
+	// uncompressed PASGD at the same tau.
+	res := CompressionTradeoff(ScaleQuick)
+	if math.IsNaN(res.TimeUncomp) || math.IsNaN(res.TimeComp) {
+		t.Fatalf("target %v unreached: dense %v, compressed %v",
+			res.Target, res.TimeUncomp, res.TimeComp)
+	}
+	if res.TimeComp >= res.TimeUncomp {
+		t.Fatalf("compression did not pay off: dense %v s vs compressed %v s",
+			res.TimeUncomp, res.TimeComp)
+	}
+	var sb strings.Builder
+	PrintCompressionTradeoff(&sb, res)
+	if !strings.Contains(sb.String(), "Compressed vs dense") {
+		t.Fatal("PrintCompressionTradeoff empty")
+	}
+}
+
+func TestCompressionGridShape(t *testing.T) {
+	spec := DefaultCompressionGrid(ScaleQuick)
+	res := RunCompressionGrid(spec)
+	if want := len(spec.Taus) * len(spec.Specs); len(res.Rows) != want {
+		t.Fatalf("grid rows %d, want %d", len(res.Rows), want)
+	}
+	for _, r := range res.Rows {
+		if math.IsNaN(r.TimeToTarget) {
+			t.Fatalf("cell tau=%d/%s never reached the shared target %v",
+				r.Tau, r.Compressor, res.Target)
+		}
+		if r.BytesPerRound <= 0 {
+			t.Fatalf("cell tau=%d/%s reported no payload", r.Tau, r.Compressor)
+		}
+	}
+	// Within each tau, every compressed cell must carry fewer bytes than
+	// the dense baseline.
+	dense := map[int]int{}
+	for _, r := range res.Rows {
+		if r.Compressor == "none" {
+			dense[r.Tau] = r.BytesPerRound
+		}
+	}
+	for _, r := range res.Rows {
+		if r.Compressor != "none" && r.BytesPerRound >= dense[r.Tau] {
+			t.Fatalf("cell tau=%d/%s payload %d not below dense %d",
+				r.Tau, r.Compressor, r.BytesPerRound, dense[r.Tau])
+		}
+	}
+	var sb strings.Builder
+	PrintCompressionGrid(&sb, res)
+	if !strings.Contains(sb.String(), "trade-off") {
+		t.Fatal("PrintCompressionGrid empty")
+	}
+}

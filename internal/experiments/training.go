@@ -143,8 +143,18 @@ func (c *Comparison) SpeedupVsSync(target float64) map[string]float64 {
 // (q=0.05 means 5% above the worst minimum). This mirrors how the paper
 // quotes "X minutes to reach loss Y": Y is always a level all curves cross.
 func (c *Comparison) ReachableTarget(q float64) float64 {
-	worst := 0.0
+	traces := make([]*metrics.Trace, 0, len(c.Traces))
 	for _, tr := range c.Traces {
+		traces = append(traces, tr)
+	}
+	return reachableTarget(traces, q)
+}
+
+// reachableTarget is ReachableTarget over a plain trace list, shared with
+// the compression experiments.
+func reachableTarget(traces []*metrics.Trace, q float64) float64 {
+	worst := 0.0
+	for _, tr := range traces {
 		if l := tr.MinLoss(); l > worst {
 			worst = l
 		}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/delaymodel"
 	"repro/internal/metrics"
@@ -84,11 +85,22 @@ func (f FixedK) Name() string { return fmt.Sprintf("K=%d", f.K) }
 type Config struct {
 	Mode      Mode
 	BatchSize int
-	// PushDelay is the gradient push + model pull round trip cost added to
-	// every worker-server exchange.
+	// PushDelay is the latency part of the gradient push + model pull round
+	// trip added to every worker-server exchange.
 	PushDelay rng.Distribution
 	// ComputeY is the per-gradient compute-time distribution.
 	ComputeY rng.Distribution
+	// Bandwidth is the worker<->server link rate in bytes per simulated
+	// second; 0 = infinite (the legacy size-free push). With a finite
+	// bandwidth every exchange additionally costs payload/Bandwidth, where
+	// the payload is the (possibly compressed) gradient — the same
+	// size-aware cost model internal/cluster charges for broadcasts.
+	Bandwidth float64
+	// Compress optionally compresses pushed gradients with the
+	// internal/compress subsystem (None leaves the protocol byte-for-byte
+	// unchanged). Each worker owns a compressor instance, so error
+	// feedback accumulates per worker exactly as in the PASGD engine.
+	Compress compress.Spec
 	// Stop conditions (at least one required).
 	MaxUpdates int     // server updates
 	MaxTime    float64 // simulated seconds
@@ -107,6 +119,11 @@ func (c Config) validate() error {
 	}
 	if c.ComputeY == nil || c.PushDelay == nil {
 		return fmt.Errorf("paramserver: delay distributions required")
+	}
+	if c.Compress.Enabled() {
+		if err := c.Compress.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -156,6 +173,14 @@ type Server struct {
 	evalBatch data.Batch
 
 	delayRand *rng.Rand
+
+	// Compression state: comps[i] is worker i's gradient compressor (nil
+	// slice when disabled); pushBytes is the per-exchange payload charged
+	// against Config.Bandwidth (compressed sizes are data-independent, so
+	// the scheduler can price an exchange before the gradient exists).
+	comps     []compress.Compressor
+	decBuf    []float64
+	pushBytes int
 }
 
 // New builds a server over m shards of the training set.
@@ -191,8 +216,25 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval *data.Dataset, cfg
 		evalDS = trainEval.Subset(idx)
 	}
 	s.evalBatch = data.FullBatch(evalDS)
+	dim := proto.ParamLen()
+	s.pushBytes = 8 * dim
+	if cfg.Compress.Enabled() {
+		s.pushBytes = cfg.Compress.WireBytes(dim)
+		s.comps = make([]compress.Compressor, s.m)
+		for i := range s.comps {
+			c, err := cfg.Compress.New(root.Split())
+			if err != nil {
+				return nil, err
+			}
+			s.comps[i] = c
+		}
+		s.decBuf = make([]float64, dim)
+	}
 	return s, nil
 }
+
+// PushBytes returns the per-exchange gradient payload in bytes.
+func (s *Server) PushBytes() int { return s.pushBytes }
 
 // Loss evaluates the server model's training loss.
 func (s *Server) Loss() float64 {
@@ -215,17 +257,33 @@ func (s *Server) dispatch(i int) {
 	w.model.SetParams(s.params)
 	w.version = s.version
 	// The actual gradient computation happens lazily at completion time;
-	// only the duration is decided now.
+	// only the duration is decided now. Compressed payload sizes are
+	// data-independent, so the size-aware transfer term is deterministic.
 	dur := s.cfg.ComputeY.Sample(w.r) + s.cfg.PushDelay.Sample(s.delayRand)
+	if s.cfg.Bandwidth > 0 {
+		dur += float64(s.pushBytes) / s.cfg.Bandwidth
+	}
 	s.seq++
 	heap.Push(&s.queue, event{at: s.clock + dur, worker: i, seq: s.seq})
 }
 
-// computeGradient materializes worker i's gradient on its next mini-batch.
+// computeGradient materializes worker i's gradient on its next mini-batch,
+// routing it through the worker's compressor (wire round-trip, with
+// per-worker error feedback) when compression is configured.
 func (s *Server) computeGradient(i int) []float64 {
 	w := s.workers[i]
 	b := w.sampler.Next()
 	w.model.LossGrad(b, w.grad)
+	if s.comps != nil {
+		msg, err := s.comps[i].Compress(w.grad)
+		if err != nil {
+			panic(fmt.Sprintf("paramserver: worker %d compress: %v", i, err))
+		}
+		if err := s.comps[i].Decompress(msg, s.decBuf); err != nil {
+			panic(fmt.Sprintf("paramserver: worker %d decompress: %v", i, err))
+		}
+		copy(w.grad, s.decBuf)
+	}
 	return w.grad
 }
 
@@ -351,4 +409,11 @@ func ExpectedKSyncUpdateTime(y float64, m, k int, pushMean float64) float64 {
 // cost).
 func DelayModelFromProfile(p delaymodel.Profile, m int) (computeY, push rng.Distribution) {
 	return p.ComputeY, rng.Scaled{Base: p.CommD0, Factor: 1 / float64(m)}
+}
+
+// SizedDelayFromProfile is DelayModelFromProfile plus the profile's per-link
+// bandwidth, for wiring a bandwidth-constrained profile into Config.
+func SizedDelayFromProfile(p delaymodel.Profile, m int) (computeY, push rng.Distribution, bandwidth float64) {
+	computeY, push = DelayModelFromProfile(p, m)
+	return computeY, push, p.Bandwidth
 }

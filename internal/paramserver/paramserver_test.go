@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/compress"
+
 	"repro/internal/data"
 	"repro/internal/delaymodel"
 	"repro/internal/nn"
@@ -271,5 +273,91 @@ func TestDelayModelFromProfile(t *testing.T) {
 	want := delaymodel.VGG16Profile().CommD0.Mean() / 4
 	if math.Abs(push.Mean()-want) > 1e-12 {
 		t.Fatalf("push mean %v, want %v", push.Mean(), want)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Size-aware push/pull and gradient compression.
+// ---------------------------------------------------------------------------
+
+func TestBandwidthSlowsExchanges(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	run := func(bandwidth float64, spec compress.Spec) (*Server, float64) {
+		cfg := psConfig(KSync)
+		cfg.MaxUpdates = 50
+		cfg.Bandwidth = bandwidth
+		cfg.Compress = spec
+		s, err := New(proto, shards, train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(FixedK{K: 4, LR: 0.2}, "t")
+		return s, s.Clock()
+	}
+	_, free := run(0, compress.Spec{})
+	srv, tight := run(50, compress.Spec{}) // dense 44-param push = 352 B = 7 s extra
+	if tight <= free {
+		t.Fatalf("finite bandwidth did not slow the run: %v vs %v", tight, free)
+	}
+	if srv.PushBytes() != 8*proto.ParamLen() {
+		t.Fatalf("dense push bytes %d, want %d", srv.PushBytes(), 8*proto.ParamLen())
+	}
+	// Compression must claw the time back under the same bandwidth.
+	comp, compT := run(50, compress.Spec{Kind: compress.KindTopK, Ratio: 0.2, ErrorFeedback: true})
+	if compT >= tight {
+		t.Fatalf("compressed push not faster: %v vs %v", compT, tight)
+	}
+	if comp.PushBytes() >= srv.PushBytes() {
+		t.Fatalf("compressed push bytes %d not below dense %d", comp.PushBytes(), srv.PushBytes())
+	}
+}
+
+func TestCompressedKSyncTrains(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	cfg := psConfig(KSync)
+	cfg.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true}
+	s, err := New(proto, shards, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _ := s.Run(FixedK{K: 4, LR: 0.2}, "ksync-topk")
+	if trace.FinalLoss() >= trace.Points[0].Loss/2 {
+		t.Fatalf("compressed K-sync failed to learn: %v -> %v",
+			trace.Points[0].Loss, trace.FinalLoss())
+	}
+}
+
+func TestCompressedKAsyncTrains(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	cfg := psConfig(KAsync)
+	cfg.Compress = compress.Spec{Kind: compress.KindQSGD, Bits: 6}
+	s, err := New(proto, shards, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _ := s.Run(FixedK{K: 2, LR: 0.1}, "kasync-qsgd")
+	if trace.FinalLoss() >= trace.Points[0].Loss/2 {
+		t.Fatalf("compressed K-async failed to learn: %v -> %v",
+			trace.Points[0].Loss, trace.FinalLoss())
+	}
+}
+
+func TestCompressSpecValidatedByConfig(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	cfg := psConfig(KSync)
+	cfg.Compress = compress.Spec{Kind: compress.KindQSGD, Bits: 99}
+	if _, err := New(proto, shards, train, cfg); err == nil {
+		t.Fatal("accepted invalid compress spec")
+	}
+}
+
+func TestSizedDelayFromProfile(t *testing.T) {
+	p := delaymodel.VGG16Profile().Constrained(1024)
+	y, push, bw := SizedDelayFromProfile(p, 4)
+	if y == nil || push == nil {
+		t.Fatal("nil distributions")
+	}
+	if bw != 1024 {
+		t.Fatalf("bandwidth %v, want 1024", bw)
 	}
 }
