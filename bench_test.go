@@ -5,7 +5,11 @@ package repro
 // corresponding experiment end-to-end at reduced (ScaleQuick) size so the
 // whole suite completes in minutes; `go run ./cmd/figures` regenerates the
 // same artifacts at full scale. Micro-benchmarks for the hot kernels
-// (gemm, model forward/backward, a PASGD round) follow at the bottom.
+// (gemm, model forward/backward, a PASGD round) follow at the bottom;
+// the communication-layer aggregation benchmarks (sparse index-merge vs
+// dense accumulation on 1M-coordinate vectors) live next to their subject
+// in internal/comm/bench_test.go and internal/compress/bench_test.go, and
+// run with the same `go test -bench . ./...` invocation.
 
 import (
 	"io"

@@ -9,6 +9,8 @@
 //	adacomm -arch logistic -method fixed -tau 1 -workers 8 -lr 0.1
 //	adacomm -arch logistic -method fixed -tau 5 -compress topk:0.25+ef -bandwidth 128
 //	adacomm -arch vgg -method adacomm -compress topk:0.05 -bandwidth 4096 -adapt-compression
+//	adacomm -arch logistic -method adacomm -bandwidth 256 -topology tree
+//	adacomm -arch logistic -method adacomm -bandwidth 256 -links "0:,0:,0:,0:25.6"
 package main
 
 import (
@@ -17,8 +19,10 @@ import (
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/delaymodel"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sgd"
@@ -46,6 +50,11 @@ func main() {
 		"per-link bandwidth in bytes per simulated second (0 = infinite, size-free broadcasts)")
 	adaptCompression := flag.Bool("adapt-compression", false,
 		"with -method adacomm: jointly adapt (tau, compression ratio) per interval")
+	topologyFlag := flag.String("topology", "allgather",
+		"all-reduce routing: allgather | ring | tree | star (pricing only; allgather is the paper's overlapped broadcast)")
+	linksFlag := flag.String("links", "",
+		"per-worker heterogeneous links as comma-separated latency:bandwidth pairs, one per worker "+
+			"(empty part = inherit; e.g. \"0:,0:,0:,0:25.6\" makes the last worker's link slow)")
 	flag.Parse()
 
 	spec, err := compress.ParseSpec(*compressFlag)
@@ -70,6 +79,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	topology, err := comm.ParseTopology(*topologyFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(2)
+	}
+
 	scale := experiments.ScaleFull
 	if *quick {
 		scale = experiments.ScaleQuick
@@ -78,6 +93,12 @@ func main() {
 	if *bandwidth > 0 {
 		w.Delay.Bandwidth = *bandwidth
 	}
+	links, err := delaymodel.ParseLinks(*linksFlag, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(2)
+	}
+	w.Delay.Links = links
 
 	var sched sgd.Schedule = sgd.Const{Eta: *lr}
 	if *variableLR {
@@ -93,6 +114,7 @@ func main() {
 		EvalSubset:    512,
 		AccEverySync:  5,
 		Compress:      spec,
+		Topology:      topology,
 		Seed:          *seed + 1,
 	}
 	engine := w.Engine(cfg)

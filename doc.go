@@ -19,4 +19,15 @@
 // controller in internal/core. See examples/compression and the
 // compression grid in internal/experiments for the error-runtime payoff on
 // bandwidth-constrained links.
+//
+// All model/gradient exchange routes through the unified communication
+// layer in internal/comm: a Communicator (AllReduce / Push / Pull with
+// per-message payload accounting) whose aggregation hot path index-merges
+// sparse messages in O(k*m) instead of O(dim*m), plus routing topologies
+// (all-gather, ring, tree, star) whose transfer schedules the delay model
+// prices. internal/delaymodel supports per-worker heterogeneous
+// Link{Latency, Bandwidth} — stragglers slow in bytes/s, not compute — with
+// the slowest link gating each round; parameter-server pulls are priced and
+// delta-compressed against each worker's last pulled reconstruction. See
+// examples/heterogeneous and cmd/adacomm's -topology / -links flags.
 package repro

@@ -1,0 +1,34 @@
+// Heterogeneous links: one worker's uplink is 10x worse than the rest, so
+// every synchronization is gated by the slow link's transfer time — the
+// straggler is slow in bytes per second, not compute (the regime of
+// Spiridonoff et al. 2020 and Kas Hanna et al. 2022). Fixed tau = 1 pays
+// the slow link every iteration; a large fixed tau amortizes it but keeps
+// the high error floor; AdaComm starts large and decays tau, getting the
+// runtime of the former early and the error floor of frequent averaging
+// late.
+//
+// The per-worker links come from delaymodel.Model.Links, and the round's
+// communication delay is computed from the topology's actual transfer
+// schedule (internal/comm), with the slowest link gating each round.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	spec := experiments.DefaultHeteroSpec(experiments.ScaleFull)
+	rows := experiments.HeterogeneousStragglerAblation(spec)
+	experiments.PrintHeterogeneousAblation(os.Stdout, spec, rows)
+
+	fmt.Println()
+	fmt.Println("tau=1 is gated by the slow link every iteration; tau=16 amortizes it")
+	fmt.Println("16x but keeps averaging rarely even once communication is cheap to")
+	fmt.Println("buy; adacomm starts at tau0=16 and decays tau as the loss falls,")
+	fmt.Println("reaching the lowest loss in the same simulated budget.")
+}

@@ -12,19 +12,24 @@
 //
 // # Compressed averaging
 //
+// All model exchange — raw or compressed, full averaging, ring gossip, or
+// elastic averaging — routes through the unified communication layer in
+// internal/comm: workers contribute wire messages (internal/compress), the
+// communicator aggregates them by sparse index-merge, and the resulting
+// transfer schedule (per-worker wire bytes plus the configured topology's
+// hop multipliers) is what delaymodel prices, per worker when the model has
+// heterogeneous Links.
+//
 // When Config.Compress names a compressor (internal/compress), the
 // averaging step exchanges compressed DELTAS instead of raw parameter
 // vectors: each worker i compresses x_i - x_glob (its movement since the
 // last synchronization, routed through its private error-feedback residual
-// if configured), the deltas are decompressed and averaged, and the new
-// synchronized model x_glob + mean(delta_hat_i) is broadcast back. The
-// round's communication payload is max_i Bytes(msg_i) — a symmetric
-// all-gather where per-link transfers overlap and the delay model's s(m)
-// accounts for topology — and delaymodel.SampleDBytes charges
-// (latency + bytes/bandwidth) * s(m) for it. With the zero-value
-// Compress spec the engine takes the legacy raw-averaging path and, because
-// an infinite-bandwidth link ignores payload size, reproduces pre-compression
-// traces bit for bit.
+// if configured), the communicator index-merges the messages, and the new
+// synchronized model x_glob + mean(delta_hat_i) is broadcast back. With the
+// zero-value Compress spec and Topology the engine takes the legacy
+// raw-averaging all-gather path and, because an infinite-bandwidth link
+// ignores payload size, reproduces pre-compression traces bit for bit
+// (enforced by the golden tests).
 //
 // Two execution backends are provided: the deterministic lock-step engine
 // (Engine.Run) used by all experiments, and a goroutine-parallel backend
@@ -38,6 +43,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/comm"
 	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/delaymodel"
@@ -96,8 +102,20 @@ type Config struct {
 	// Compress selects the delta-compression scheme used at averaging
 	// points (see the package comment). The zero value (compress.None)
 	// keeps the legacy raw-vector averaging path, bit-identical to the
-	// pre-compression engine. Requires FullAveraging.
+	// pre-compression engine. All strategies honor it: full averaging
+	// exchanges compressed deltas from the synchronized model, ring gossip
+	// and elastic averaging exchange compressed deltas from the last shared
+	// reference (the published replica mean / the center variable).
 	Compress compress.Spec
+
+	// Topology selects how full averaging's all-reduce is routed
+	// (internal/comm): it scales the round's communication delay by the
+	// topology's transfer schedule without changing the aggregation math.
+	// The zero value (comm.AllGather) is the legacy overlapped all-gather,
+	// bit-identical to the pre-comm-layer engine. Requires FullAveraging:
+	// ring gossip and elastic averaging keep the legacy single-overlapped-
+	// hop pricing on their own (per-worker, payload-aware) message sizes.
+	Topology comm.Topology
 
 	Seed uint64
 }
@@ -119,9 +137,9 @@ func (c Config) validate(m int) error {
 		if err := c.Compress.Validate(); err != nil {
 			return err
 		}
-		if c.Strategy != FullAveraging {
-			return fmt.Errorf("cluster: compression requires FullAveraging, got %s", c.Strategy)
-		}
+	}
+	if c.Topology != comm.AllGather && c.Strategy != FullAveraging {
+		return fmt.Errorf("cluster: topology %s requires FullAveraging, got %s", c.Topology, c.Strategy)
 	}
 	return nil
 }
@@ -192,14 +210,22 @@ type Engine struct {
 	slow  []float64 // per-worker compute slowdown factors
 	r     *rng.Rand // delay sampling stream
 
+	// Communication state: every model exchange routes through com
+	// (internal/comm), and lastReport is the most recent round's transfer
+	// schedule, charged by roundTime. latHops/bytesFactor are the
+	// configured topology's schedule multipliers, fixed at construction.
+	com         comm.Communicator
+	lastReport  comm.Report
+	latHops     float64
+	bytesFactor float64
+
 	// Compression state: comps[i] is worker i's compressor (owning its
 	// error-feedback residual and stochastic stream); nil when the legacy
-	// raw-averaging path is active. lastCommBytes is the per-link payload
-	// of the most recent averaging step, charged by roundTime.
-	comps         []compress.Compressor
-	deltaBuf      []float64
-	sumBuf        []float64
-	lastCommBytes int
+	// raw-vector path is active.
+	comps    []compress.Compressor
+	deltaBuf []float64
+	sumBuf   []float64
+	msgBuf   []compress.Message
 
 	evalModel *nn.Network // scratch replica for loss/accuracy evaluation
 	evalSet   *data.Dataset
@@ -223,6 +249,9 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 		return nil, fmt.Errorf("cluster: delay model has %d workers, got %d shards", dm.M, m)
 	}
 	if err := cfg.validate(m); err != nil {
+		return nil, err
+	}
+	if err := dm.CheckLinks(); err != nil {
 		return nil, err
 	}
 	if cfg.EvalEvery <= 0 {
@@ -281,10 +310,16 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 	if test != nil {
 		e.testBatch = data.FullBatch(test)
 	}
-	// A round's broadcast payload defaults to the dense model; compressed
-	// averaging overwrites it per round. Compressor construction comes last
-	// so the None path consumes exactly the legacy RNG stream.
-	e.lastCommBytes = 8 * e.dim
+	// A round's transfer schedule defaults to the dense model on every
+	// link; averaging overwrites it per round. The communicator owns no RNG
+	// and the compressor construction comes last, so the None path consumes
+	// exactly the legacy RNG stream.
+	e.com = comm.New(cfg.Topology, m)
+	e.latHops = cfg.Topology.LatencyHops(m)
+	e.bytesFactor = cfg.Topology.BytesFactor(m)
+	e.lastReport = comm.DenseReport(m, e.dim)
+	e.sumBuf = make([]float64, e.dim)
+	e.msgBuf = make([]compress.Message, m)
 	if cfg.Compress.Enabled() {
 		e.comps = make([]compress.Compressor, m)
 		for i := range e.comps {
@@ -295,7 +330,6 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 			e.comps[i] = c
 		}
 		e.deltaBuf = make([]float64, e.dim)
-		e.sumBuf = make([]float64, e.dim)
 	}
 	return e, nil
 }
@@ -329,11 +363,12 @@ func (e *Engine) TestAccuracy() float64 {
 }
 
 // roundTime samples the wall-clock duration of a round of `steps` local
-// iterations followed by one averaging broadcast, honoring per-worker
-// straggler factors: max_i slow_i * sum_k Y + D. The broadcast is charged
-// the size-aware cost of the round's payload (the compressed message size
-// when compression is active, the dense model otherwise); on an
-// infinite-bandwidth link this is the paper's fixed D.
+// iterations followed by one synchronization, honoring per-worker straggler
+// factors: max_i slow_i * sum_k Y + D. The synchronization is charged the
+// size-aware cost of the round's transfer schedule — per-worker wire bytes
+// from the communicator, scaled by the topology's hop multipliers and priced
+// on each worker's own link when the delay model is heterogeneous. On a
+// homogeneous infinite-bandwidth all-gather this is the paper's fixed D.
 func (e *Engine) roundTime(steps int) float64 {
 	mx := math.Inf(-1)
 	for i := 0; i < e.m; i++ {
@@ -345,12 +380,12 @@ func (e *Engine) roundTime(steps int) float64 {
 			mx = v
 		}
 	}
-	return mx + e.delay.SampleDBytes(e.r, e.lastCommBytes)
+	return mx + e.delay.SampleDSchedule(e.r, e.lastReport.Bytes, e.latHops, e.bytesFactor)
 }
 
 // CommBytesPerRound returns the per-link payload charged for the most
-// recent averaging broadcast.
-func (e *Engine) CommBytesPerRound() int { return e.lastCommBytes }
+// recent synchronization (the round's largest message).
+func (e *Engine) CommBytesPerRound() int { return e.lastReport.Max }
 
 // setCompressionRatio retunes every adaptive compressor to the given
 // keep-ratio (no-op on the legacy path or for fixed-rate compressors).
@@ -383,13 +418,24 @@ func (e *Engine) average() {
 func (e *Engine) averageFull() {
 	avg := make([]float64, e.dim)
 	if e.comps != nil {
-		e.lastCommBytes = e.compressedDeltaMean(avg)
+		e.compressedDeltaMean(avg)
 	} else {
-		vecs := make([][]float64, e.m)
+		// Raw path: each worker contributes its dense parameter vector as a
+		// lossless wire message; the communicator sums them in worker order,
+		// which keeps the arithmetic bit-identical to the pre-comm-layer
+		// tensor.Mean.
 		for i, w := range e.workers {
-			vecs[i] = w.model.Params()
+			e.msgBuf[i] = compress.Message{Dim: e.dim, Enc: compress.EncDense, Dense: w.model.Params()}
 		}
-		tensor.Mean(avg, vecs...)
+		rep, err := e.com.AllReduce(e.msgBuf, e.sumBuf)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: all-reduce: %v", err))
+		}
+		e.lastReport = rep
+		inv := 1 / float64(e.m)
+		for j := range avg {
+			avg[j] = e.sumBuf[j] * inv
+		}
 	}
 
 	if e.cfg.BlockMomentum != 0 {
@@ -420,33 +466,30 @@ func (e *Engine) averageFull() {
 
 // compressedDeltaMean runs the compressed all-reduce: each worker's delta
 // from the last synchronized model is compressed (through its error-feedback
-// residual if configured), decompressed, and averaged; avg receives
-// x_glob + mean(delta_hat_i). Returns the round's per-link payload,
-// max_i Bytes(msg_i). Compression happens in fixed worker order on the
+// residual if configured) and the messages are aggregated by the
+// communicator's sparse index-merge — O(k*m) instead of the O(dim*m) a
+// decompress-to-dense loop would pay. avg receives x_glob +
+// mean(delta_hat_i). Compression happens in fixed worker order on the
 // engine's own streams, which is why Run and RunParallel stay bitwise
 // identical under every compressor.
-func (e *Engine) compressedDeltaMean(avg []float64) int {
-	tensor.Zero(e.sumBuf)
-	maxBytes := 0
+func (e *Engine) compressedDeltaMean(avg []float64) {
 	for i, w := range e.workers {
 		tensor.Sub(e.deltaBuf, w.model.Params(), e.global)
 		msg, err := e.comps[i].Compress(e.deltaBuf)
 		if err != nil {
 			panic(fmt.Sprintf("cluster: worker %d compress: %v", i, err))
 		}
-		if b := msg.Bytes(); b > maxBytes {
-			maxBytes = b
-		}
-		if err := e.comps[i].Decompress(msg, e.deltaBuf); err != nil {
-			panic(fmt.Sprintf("cluster: worker %d decompress: %v", i, err))
-		}
-		tensor.Axpy(1, e.deltaBuf, e.sumBuf)
+		e.msgBuf[i] = msg
 	}
+	rep, err := e.com.AllReduce(e.msgBuf, e.sumBuf)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: all-reduce: %v", err))
+	}
+	e.lastReport = rep
 	inv := 1 / float64(e.m)
 	for j := range avg {
 		avg[j] = e.global[j] + e.sumBuf[j]*inv
 	}
-	return maxBytes
 }
 
 // Run executes PASGD under the given controller until a stop condition is

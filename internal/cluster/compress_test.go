@@ -131,18 +131,92 @@ func TestBandwidthChargesPayloadTime(t *testing.T) {
 	}
 }
 
-func TestCompressionRejectsNonFullAveraging(t *testing.T) {
+func TestCompressionRejectsInvalidSpec(t *testing.T) {
 	s := newSetup(t, 4, 1)
 	cfg := baseCfg()
-	cfg.Strategy = RingGossip
-	cfg.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.1}
-	if _, err := New(s.proto, s.shards, s.train, s.test, s.dm, cfg); err == nil {
-		t.Fatal("accepted compression with ring gossip")
-	}
-	cfg = baseCfg()
 	cfg.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 7}
 	if _, err := New(s.proto, s.shards, s.train, s.test, s.dm, cfg); err == nil {
 		t.Fatal("accepted invalid compress spec")
+	}
+}
+
+func TestCompressedRingMatchesFullAveragingOnTriangle(t *testing.T) {
+	// With m = 3 the ring mix (prev + self + next)/3 IS the global mean, and
+	// compressed ring gossip averages the same three reconstructions
+	// global + delta_hat_i that compressed full averaging does — so the two
+	// strategies must synchronize to the same model (up to summation order).
+	for _, spec := range []compress.Spec{
+		{Kind: compress.KindIdentity},
+		{Kind: compress.KindTopK, Ratio: 0.5, ErrorFeedback: true},
+		{Kind: compress.KindQSGD, Bits: 8},
+	} {
+		t.Run(spec.String(), func(t *testing.T) {
+			run := func(strat Strategy) []float64 {
+				s := newSetup(t, 3, 1)
+				cfg := baseCfg()
+				cfg.MaxIters = 200
+				cfg.Strategy = strat
+				cfg.Compress = spec
+				e := s.engine(t, cfg)
+				e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "t")
+				return e.GlobalParams()
+			}
+			full := run(FullAveraging)
+			ring := run(RingGossip)
+			for i := range full {
+				d := full[i] - ring[i]
+				if d < -1e-9 || d > 1e-9 {
+					t.Fatalf("ring diverged from full averaging at param %d: %v vs %v",
+						i, full[i], ring[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCompressedRingChargesPayloadAwareDelay(t *testing.T) {
+	// Ring gossip must report its (compressed) payload and finish the same
+	// iteration budget in less simulated time than dense ring gossip on a
+	// bandwidth-constrained link.
+	s := newSetup(t, 4, 1)
+	s.dm.Bandwidth = 64
+	run := func(spec compress.Spec) (*Engine, float64) {
+		cfg := baseCfg()
+		cfg.MaxIters = 100
+		cfg.Strategy = RingGossip
+		cfg.Compress = spec
+		e := s.engine(t, cfg)
+		tr := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "ring")
+		return e, tr.Last().Time
+	}
+	dense, denseT := run(compress.Spec{})
+	if got, want := dense.CommBytesPerRound(), 8*dense.Dim(); got != want {
+		t.Fatalf("dense ring payload %d, want %d", got, want)
+	}
+	sparse, sparseT := run(compress.Spec{Kind: compress.KindTopK, Ratio: 0.1, ErrorFeedback: true})
+	if got := sparse.CommBytesPerRound(); got >= dense.CommBytesPerRound()/2 {
+		t.Fatalf("compressed ring payload %d not meaningfully below dense %d",
+			got, dense.CommBytesPerRound())
+	}
+	if sparseT >= denseT {
+		t.Fatalf("compressed ring not faster under finite bandwidth: %v vs %v", sparseT, denseT)
+	}
+}
+
+func TestCompressedElasticTrainsAndReportsPayload(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.MaxIters = 800
+	cfg.Strategy = ElasticAveraging
+	cfg.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true}
+	e := s.engine(t, cfg)
+	tr := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "easgd-topk")
+	if tr.FinalLoss() >= tr.Points[0].Loss/2 {
+		t.Fatalf("compressed elastic averaging failed to learn: %v -> %v",
+			tr.Points[0].Loss, tr.FinalLoss())
+	}
+	if got := e.CommBytesPerRound(); got >= 8*e.Dim() {
+		t.Fatalf("compressed elastic payload %d not below dense %d", got, 8*e.Dim())
 	}
 }
 

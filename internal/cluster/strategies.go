@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"fmt"
+
+	"repro/internal/comm"
 	"repro/internal/tensor"
 )
 
@@ -9,6 +12,15 @@ import (
 // decentralized SGD (Lian et al. 2017) and Elastic-Averaging SGD (Zhang et
 // al. 2015); these variants implement those extensions so AdaComm can drive
 // their synchronization period too.
+//
+// Both variants honor Config.Compress and report per-worker payload bytes
+// through the communication layer: ring gossip ships each replica's delta
+// from the last published replica mean to its neighbors, elastic averaging
+// ships each replica's displacement from the center. Their rounds keep the
+// legacy single-overlapped-hop pricing (Config.Topology is rejected for
+// them), so only the message sizes — not hop multipliers — differ from full
+// averaging. With compression disabled they take the legacy raw paths, bit
+// for bit.
 type Strategy int
 
 const (
@@ -43,6 +55,10 @@ func (s Strategy) String() string {
 // e.global is refreshed with the replica mean (for evaluation and AdaComm's
 // loss probe).
 func (e *Engine) averageRing() {
+	if e.comps != nil {
+		e.averageRingCompressed()
+		return
+	}
 	snap := make([][]float64, e.m)
 	for i, w := range e.workers {
 		snap[i] = append([]float64(nil), w.model.Params()...)
@@ -56,25 +72,96 @@ func (e *Engine) averageRing() {
 		}
 		e.resetWorkerMomentum(w)
 	}
+	e.lastReport = comm.DenseReport(e.m, e.dim)
+	e.refreshGlobalFromReplicaMean()
+}
+
+// averageRingCompressed is ring gossip over compressed messages: each worker
+// compresses its delta from the last published replica mean (e.global, the
+// shared reference every node saw at the previous synchronization) and ships
+// it to its ring neighbors; mixing averages the RECONSTRUCTIONS — including
+// the worker's own, so sender and receivers agree on every term of the mix.
+// With m = 3 the ring mix is the global mean, so compressed ring gossip must
+// match compressed full averaging's synchronized model (the regression test
+// asserts this).
+func (e *Engine) averageRingCompressed() {
+	rep := comm.Report{Bytes: make([]int, e.m)}
+	recon := make([][]float64, e.m)
+	for i, w := range e.workers {
+		tensor.Sub(e.deltaBuf, w.model.Params(), e.global)
+		msg, err := e.comps[i].Compress(e.deltaBuf)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: worker %d compress: %v", i, err))
+		}
+		rec := make([]float64, e.dim)
+		pay, err := e.com.Push(i, msg, rec)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: worker %d push: %v", i, err))
+		}
+		tensor.Axpy(1, e.global, rec) // xhat_i = reference + delta_hat_i
+		recon[i] = rec
+		rep.Bytes[i] = pay.UpBytes
+		if pay.UpBytes > rep.Max {
+			rep.Max = pay.UpBytes
+		}
+	}
+	for i, w := range e.workers {
+		prev := recon[(i-1+e.m)%e.m]
+		next := recon[(i+1)%e.m]
+		self := recon[i]
+		dst := w.model.Params()
+		for j := range dst {
+			dst[j] = (prev[j] + self[j] + next[j]) / 3
+		}
+		e.resetWorkerMomentum(w)
+	}
+	e.lastReport = rep
 	e.refreshGlobalFromReplicaMean()
 }
 
 // averageElastic applies the EASGD update: x_i <- x_i - alpha(x_i - z),
 // z <- z + (beta/m) * sum_i (x_i - z). The center z lives in e.global.
+// With compression active, each worker ships its displacement x_i - z as a
+// compressed message over the star; worker and center both apply the
+// RECONSTRUCTED displacement, so the two sides stay consistent.
 func (e *Engine) averageElastic() {
 	alpha := e.cfg.ElasticAlpha
 	beta := e.cfg.ElasticBeta
 	centerPull := make([]float64, e.dim)
-	for _, w := range e.workers {
+	rep := comm.Report{Bytes: make([]int, e.m)}
+	for i, w := range e.workers {
 		p := w.model.Params()
-		for j := range p {
-			diff := p[j] - e.global[j]
-			p[j] -= alpha * diff
-			centerPull[j] += diff
+		if e.comps != nil {
+			tensor.Sub(e.deltaBuf, p, e.global)
+			msg, err := e.comps[i].Compress(e.deltaBuf)
+			if err != nil {
+				panic(fmt.Sprintf("cluster: worker %d compress: %v", i, err))
+			}
+			pay, err := e.com.Push(i, msg, e.deltaBuf)
+			if err != nil {
+				panic(fmt.Sprintf("cluster: worker %d push: %v", i, err))
+			}
+			for j := range p {
+				p[j] -= alpha * e.deltaBuf[j]
+				centerPull[j] += e.deltaBuf[j]
+			}
+			rep.Bytes[i] = pay.UpBytes
+			if pay.UpBytes > rep.Max {
+				rep.Max = pay.UpBytes
+			}
+		} else {
+			for j := range p {
+				diff := p[j] - e.global[j]
+				p[j] -= alpha * diff
+				centerPull[j] += diff
+			}
+			rep.Bytes[i] = 8 * e.dim
+			rep.Max = 8 * e.dim
 		}
 		e.resetWorkerMomentum(w)
 	}
 	tensor.Axpy(beta/float64(e.m), centerPull, e.global)
+	e.lastReport = rep
 }
 
 // refreshGlobalFromReplicaMean recomputes the evaluation model as the mean

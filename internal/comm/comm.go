@@ -1,0 +1,131 @@
+// Package comm is the unified communication layer of the simulator: every
+// model/gradient exchange — the PASGD averaging all-reduce in
+// internal/cluster (both the lock-step and goroutine backends), the ring and
+// elastic mixing strategies, and the parameter-server push/pull in
+// internal/paramserver — routes its wire messages through a Communicator, so
+// payload accounting and aggregation arithmetic live in exactly one place.
+//
+// Messages are internal/compress wire messages. The aggregation hot path
+// accumulates them by sparse index-merge (compress.AddDecoded): summing m
+// top-k messages costs O(k*m) instead of the O(dim*m) a
+// decompress-to-dense-then-add loop pays, which is what makes aggressive
+// sparsification pay off at large model dimensions (see bench_test.go).
+//
+// A Communicator moves data; it does not advance the simulated clock. Each
+// call returns Payload/Report accounting (wire bytes per worker), and the
+// Topology exposes the transfer-schedule multipliers (LatencyHops,
+// BytesFactor) that internal/delaymodel prices, including per-worker
+// heterogeneous links via delaymodel.Model.Links.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+)
+
+// Payload is the per-message accounting unit: the wire bytes one worker
+// sends toward the aggregation point and receives back from it.
+type Payload struct {
+	UpBytes   int
+	DownBytes int
+}
+
+// Report describes one collective round's transfer schedule: the wire bytes
+// each worker put on its link, and the largest single message (the legacy
+// "per-link payload" the homogeneous delay model charges).
+type Report struct {
+	Bytes []int // per-worker wire bytes, indexed by worker
+	Max   int   // max over Bytes
+}
+
+// Communicator routes simulated model/gradient exchange for one cluster.
+//
+//   - AllReduce is the symmetric collective used by averaging strategies:
+//     every worker contributes one message, and the decoded sum becomes
+//     visible everywhere.
+//   - Push sends one worker's message toward the aggregation root,
+//     reconstructing it at the receiver.
+//   - Pull accounts for one worker receiving a payload from the root.
+//
+// Implementations must be deterministic: aggregation happens in fixed worker
+// order, which is what keeps the cluster engine's lock-step and goroutine
+// backends bitwise identical.
+type Communicator interface {
+	// AllReduce zeroes sum, accumulates every message's reconstruction into
+	// it in worker order (sparse index-merge), and returns the round's
+	// transfer Report.
+	AllReduce(msgs []compress.Message, sum []float64) (Report, error)
+	// Push decodes worker's message into dst (overwriting it) and returns
+	// the transfer's Payload.
+	Push(worker int, msg compress.Message, dst []float64) (Payload, error)
+	// Pull accounts for worker receiving bytes from the aggregation root.
+	Pull(worker int, bytes int) Payload
+}
+
+// Simulated is the in-process Communicator used by the whole simulator. It
+// is stateless apart from its shape, so one instance may serve any number of
+// rounds; it owns no RNG and therefore never perturbs the engines' random
+// streams. The topology itself only carries pricing multipliers
+// (LatencyHops/BytesFactor), which callers read at construction time.
+type Simulated struct {
+	topo Topology
+	m    int
+}
+
+// New builds a communicator for m workers on the given topology.
+func New(topo Topology, m int) *Simulated {
+	if m < 1 {
+		panic("comm: need at least one worker")
+	}
+	return &Simulated{topo: topo, m: m}
+}
+
+// AllReduce implements Communicator. Messages are accumulated in worker
+// order; sparse messages merge by index in O(k) each.
+func (c *Simulated) AllReduce(msgs []compress.Message, sum []float64) (Report, error) {
+	if len(msgs) != c.m {
+		return Report{}, fmt.Errorf("comm: %d messages for %d workers", len(msgs), c.m)
+	}
+	for i := range sum {
+		sum[i] = 0
+	}
+	rep := Report{Bytes: make([]int, c.m)}
+	for i, msg := range msgs {
+		if err := compress.AddDecoded(msg, sum); err != nil {
+			return Report{}, fmt.Errorf("comm: worker %d: %w", i, err)
+		}
+		b := msg.Bytes()
+		rep.Bytes[i] = b
+		if b > rep.Max {
+			rep.Max = b
+		}
+	}
+	return rep, nil
+}
+
+// Push implements Communicator.
+func (c *Simulated) Push(worker int, msg compress.Message, dst []float64) (Payload, error) {
+	if worker < 0 || worker >= c.m {
+		return Payload{}, fmt.Errorf("comm: worker %d out of [0,%d)", worker, c.m)
+	}
+	if err := compress.Decode(msg, dst); err != nil {
+		return Payload{}, fmt.Errorf("comm: worker %d: %w", worker, err)
+	}
+	return Payload{UpBytes: msg.Bytes()}, nil
+}
+
+// Pull implements Communicator.
+func (c *Simulated) Pull(worker int, bytes int) Payload {
+	return Payload{DownBytes: bytes}
+}
+
+// DenseReport returns the schedule of a round where every worker ships a
+// dense dim-coordinate vector — the legacy uncompressed broadcast.
+func DenseReport(m, dim int) Report {
+	bytes := make([]int, m)
+	for i := range bytes {
+		bytes[i] = 8 * dim
+	}
+	return Report{Bytes: bytes, Max: 8 * dim}
+}

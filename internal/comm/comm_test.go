@@ -1,0 +1,196 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/rng"
+)
+
+func testMessages(t *testing.T, dim, m int) []compress.Message {
+	t.Helper()
+	r := rng.New(50)
+	specs := []compress.Spec{
+		{Kind: compress.KindIdentity},
+		{Kind: compress.KindTopK, Ratio: 0.2},
+		{Kind: compress.KindRandK, Ratio: 0.3},
+		{Kind: compress.KindQSGD, Bits: 6},
+	}
+	msgs := make([]compress.Message, m)
+	for i := 0; i < m; i++ {
+		c, err := specs[i%len(specs)].New(r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := make([]float64, dim)
+		for j := range vec {
+			vec[j] = r.NormFloat64()
+		}
+		msg, err := c.Compress(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs[i] = msg
+	}
+	return msgs
+}
+
+func TestAllReduceMatchesDenseReference(t *testing.T) {
+	const dim, m = 64, 8
+	msgs := testMessages(t, dim, m)
+	c := New(AllGather, m)
+
+	sum := make([]float64, dim)
+	rep, err := c.AllReduce(msgs, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: decode every message to dense and add.
+	want := make([]float64, dim)
+	dec := make([]float64, dim)
+	maxBytes := 0
+	for _, msg := range msgs {
+		if err := compress.Decode(msg, dec); err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			want[j] += dec[j]
+		}
+		if b := msg.Bytes(); b > maxBytes {
+			maxBytes = b
+		}
+	}
+	for j := range want {
+		if math.Abs(sum[j]-want[j]) > 1e-12*(1+math.Abs(want[j])) {
+			t.Fatalf("index-merge sum diverged at %d: %v vs %v", j, sum[j], want[j])
+		}
+	}
+	if rep.Max != maxBytes {
+		t.Fatalf("report max %d, want %d", rep.Max, maxBytes)
+	}
+	if len(rep.Bytes) != m {
+		t.Fatalf("report has %d workers, want %d", len(rep.Bytes), m)
+	}
+	for i, msg := range msgs {
+		if rep.Bytes[i] != msg.Bytes() {
+			t.Fatalf("worker %d bytes %d, want %d", i, rep.Bytes[i], msg.Bytes())
+		}
+	}
+}
+
+func TestAllReduceZeroesSum(t *testing.T) {
+	const dim, m = 8, 2
+	msgs := testMessages(t, dim, m)
+	c := New(AllGather, m)
+	sum := make([]float64, dim)
+	for j := range sum {
+		sum[j] = 1e9
+	}
+	if _, err := c.AllReduce(msgs, sum); err != nil {
+		t.Fatal(err)
+	}
+	for j := range sum {
+		if math.Abs(sum[j]) > 1e6 {
+			t.Fatalf("sum not zeroed before accumulation: %v", sum[j])
+		}
+	}
+}
+
+func TestAllReduceErrors(t *testing.T) {
+	c := New(AllGather, 3)
+	sum := make([]float64, 4)
+	if _, err := c.AllReduce(make([]compress.Message, 2), sum); err == nil {
+		t.Fatal("accepted wrong message count")
+	}
+	msgs := []compress.Message{
+		{Dim: 9, Enc: compress.EncDense, Dense: make([]float64, 9)},
+		{Dim: 4, Enc: compress.EncDense, Dense: make([]float64, 4)},
+		{Dim: 4, Enc: compress.EncDense, Dense: make([]float64, 4)},
+	}
+	if _, err := c.AllReduce(msgs, sum); err == nil {
+		t.Fatal("accepted dim mismatch")
+	}
+}
+
+func TestPushDecodesAndAccounts(t *testing.T) {
+	c := New(Star, 4)
+	vec := []float64{1, -2, 3, 0}
+	msg := compress.Message{Dim: 4, Enc: compress.EncDense, Dense: vec}
+	dst := make([]float64, 4)
+	pay, err := c.Push(2, msg, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range vec {
+		if dst[j] != vec[j] {
+			t.Fatalf("push did not decode at %d", j)
+		}
+	}
+	if pay.UpBytes != msg.Bytes() || pay.DownBytes != 0 {
+		t.Fatalf("push payload %+v, want up=%d", pay, msg.Bytes())
+	}
+	if _, err := c.Push(9, msg, dst); err == nil {
+		t.Fatal("accepted out-of-range worker")
+	}
+	if got := c.Pull(1, 128); got.DownBytes != 128 || got.UpBytes != 0 {
+		t.Fatalf("pull payload %+v, want down=128", got)
+	}
+}
+
+func TestDenseReport(t *testing.T) {
+	rep := DenseReport(3, 10)
+	if rep.Max != 80 || len(rep.Bytes) != 3 {
+		t.Fatalf("dense report %+v", rep)
+	}
+	for _, b := range rep.Bytes {
+		if b != 80 {
+			t.Fatalf("dense report bytes %v", rep.Bytes)
+		}
+	}
+}
+
+func TestTopologyParseAndString(t *testing.T) {
+	for _, topo := range []Topology{AllGather, Ring, Tree, Star} {
+		got, err := ParseTopology(topo.String())
+		if err != nil || got != topo {
+			t.Fatalf("round-trip %s: %v %v", topo, got, err)
+		}
+	}
+	if got, err := ParseTopology(""); err != nil || got != AllGather {
+		t.Fatalf("empty topology: %v %v", got, err)
+	}
+	if _, err := ParseTopology("mesh"); err == nil {
+		t.Fatal("accepted unknown topology")
+	}
+	if Topology(99).String() != "unknown-topology" {
+		t.Fatal("unknown topology name")
+	}
+}
+
+func TestTopologyScheduleFactors(t *testing.T) {
+	const m = 8
+	cases := []struct {
+		topo  Topology
+		hops  float64
+		bytes float64
+	}{
+		{AllGather, 1, 1},
+		{Ring, 14, 14.0 / 8},
+		{Tree, 6, 6},
+		{Star, 2, 2},
+	}
+	for _, tc := range cases {
+		if got := tc.topo.LatencyHops(m); math.Abs(got-tc.hops) > 1e-12 {
+			t.Fatalf("%s hops %v, want %v", tc.topo, got, tc.hops)
+		}
+		if got := tc.topo.BytesFactor(m); math.Abs(got-tc.bytes) > 1e-12 {
+			t.Fatalf("%s bytes factor %v, want %v", tc.topo, got, tc.bytes)
+		}
+		// Degenerate single-node cluster: no multiplier on any topology.
+		if tc.topo.LatencyHops(1) != 1 || tc.topo.BytesFactor(1) != 1 {
+			t.Fatalf("%s m=1 factors not 1", tc.topo)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology enumerates how a synchronization round's transfers are routed
+// between m nodes. The topology does not change WHAT is computed (the
+// aggregation semantics are the Communicator's), only the transfer schedule
+// the delay model prices: how many sequential message launches the round
+// needs (LatencyHops) and what multiple of the payload each node's link
+// carries over the whole operation (BytesFactor).
+type Topology int
+
+const (
+	// AllGather is the fully connected symmetric all-gather of the paper's
+	// Sec 3.1 runtime model: every per-link transfer overlaps, so the round
+	// costs one latency and one payload per link. This is the zero value and
+	// reproduces the legacy engine's pricing bit for bit.
+	AllGather Topology = iota
+	// Ring is a bandwidth-optimal ring all-reduce (reduce-scatter followed
+	// by all-gather): 2(m-1) sequential chunk launches, each link carrying
+	// 2(m-1)/m of the payload in total.
+	Ring
+	// Tree is a binary reduction tree followed by a broadcast down the same
+	// tree: 2*log2(m) hops, each carrying the full payload (the FireCaffe
+	// parameter-server analysis the paper cites).
+	Tree
+	// Star routes everything through a central root (parameter server): one
+	// uplink and one downlink transfer of the full payload per node. The
+	// root's own fan-in is modeled by the delay model's Scaling, not here.
+	Star
+)
+
+// String names the topology in the -topology flag syntax.
+func (t Topology) String() string {
+	switch t {
+	case AllGather:
+		return "allgather"
+	case Ring:
+		return "ring"
+	case Tree:
+		return "tree"
+	case Star:
+		return "star"
+	}
+	return "unknown-topology"
+}
+
+// ParseTopology parses the -topology flag syntax.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "allgather", "":
+		return AllGather, nil
+	case "ring":
+		return Ring, nil
+	case "tree":
+		return Tree, nil
+	case "star":
+		return Star, nil
+	}
+	return AllGather, fmt.Errorf("comm: unknown topology %q (want allgather|ring|tree|star)", s)
+}
+
+// LatencyHops returns the number of sequential message launches one
+// synchronization needs over m nodes, each paying the base inter-node
+// latency. It is >= 1 and equals 1 for m <= 1 on every topology.
+func (t Topology) LatencyHops(m int) float64 {
+	if m <= 1 {
+		return 1
+	}
+	switch t {
+	case AllGather:
+		return 1
+	case Ring:
+		return 2 * float64(m-1)
+	case Tree:
+		return 2 * math.Log2(float64(m))
+	case Star:
+		return 2
+	}
+	return 1
+}
+
+// BytesFactor returns the multiple of the per-node payload that node's link
+// carries over the whole operation.
+func (t Topology) BytesFactor(m int) float64 {
+	if m <= 1 {
+		return 1
+	}
+	switch t {
+	case AllGather:
+		return 1
+	case Ring:
+		return 2 * float64(m-1) / float64(m)
+	case Tree:
+		return 2 * math.Log2(float64(m))
+	case Star:
+		return 2
+	}
+	return 1
+}

@@ -82,6 +82,60 @@ func (m Message) Bytes() int {
 	panic(fmt.Sprintf("compress: unknown encoding %d", int(m.Enc)))
 }
 
+// Decode reconstructs msg into dst, overwriting it entirely (including zeros
+// for coordinates a sparse message dropped). It is the message-driven
+// counterpart of Compressor.Decompress: any wire message can be decoded
+// without the compressor that produced it, which is what lets the receiving
+// side of a simulated link (internal/comm) reconstruct payloads it did not
+// compress.
+func Decode(msg Message, dst []float64) error {
+	switch msg.Enc {
+	case EncDense:
+		if err := checkDim(msg, dst); err != nil {
+			return err
+		}
+		copy(dst, msg.Dense)
+		return nil
+	case EncSparse:
+		return scatterSparse(msg, dst)
+	case EncQuant:
+		return dequantize(msg, dst)
+	}
+	return fmt.Errorf("compress: unknown encoding %d", int(msg.Enc))
+}
+
+// AddDecoded accumulates the reconstruction of msg into dst without
+// materializing a dense intermediate: sparse messages touch only their k
+// stored coordinates, which is what makes aggregating m compressed messages
+// O(k*m) instead of O(dim*m). dst is NOT zeroed first.
+func AddDecoded(msg Message, dst []float64) error {
+	if err := checkDim(msg, dst); err != nil {
+		return err
+	}
+	switch msg.Enc {
+	case EncDense:
+		for i, v := range msg.Dense {
+			dst[i] += v
+		}
+		return nil
+	case EncSparse:
+		for j, ix := range msg.Indices {
+			dst[ix] += msg.Values[j]
+		}
+		return nil
+	case EncQuant:
+		if msg.Norm == 0 {
+			return nil
+		}
+		s := float64(int(1)<<msg.Bits - 1)
+		for i, lv := range msg.Levels {
+			dst[i] += msg.Norm * float64(lv) / s
+		}
+		return nil
+	}
+	return fmt.Errorf("compress: unknown encoding %d", int(msg.Enc))
+}
+
 // Compressor maps a vector to a wire Message and back. Decompress writes the
 // reconstruction into dst (len(dst) must equal msg.Dim); it overwrites dst
 // entirely, including zeros for coordinates a sparse message dropped.
@@ -387,6 +441,10 @@ func (q *qsgdCompressor) Compress(vec []float64) (Message, error) {
 }
 
 func (q *qsgdCompressor) Decompress(msg Message, dst []float64) error {
+	return dequantize(msg, dst)
+}
+
+func dequantize(msg Message, dst []float64) error {
 	if err := checkDim(msg, dst); err != nil {
 		return err
 	}

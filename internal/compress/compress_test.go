@@ -356,3 +356,71 @@ func norm(v []float64) float64 {
 	}
 	return math.Sqrt(s)
 }
+
+func TestDecodeMatchesDecompress(t *testing.T) {
+	// Message-driven Decode must agree with every compressor's own
+	// Decompress, and AddDecoded must accumulate the same reconstruction.
+	r := rng.New(60)
+	vec := make([]float64, 257)
+	for i := range vec {
+		vec[i] = r.NormFloat64()
+	}
+	specs := []Spec{
+		{Kind: KindIdentity},
+		{Kind: KindTopK, Ratio: 0.1},
+		{Kind: KindRandK, Ratio: 0.2},
+		{Kind: KindQSGD, Bits: 5},
+	}
+	for _, spec := range specs {
+		c, err := spec.New(r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := c.Compress(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, len(vec))
+		if err := c.Decompress(msg, want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, len(vec))
+		if err := Decode(msg, got); err != nil {
+			t.Fatal(err)
+		}
+		base := make([]float64, len(vec))
+		for i := range base {
+			base[i] = float64(i)
+		}
+		acc := append([]float64(nil), base...)
+		if err := AddDecoded(msg, acc); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: Decode diverged at %d: %v vs %v", spec, i, got[i], want[i])
+			}
+			if diff := acc[i] - base[i] - want[i]; diff < -1e-12 || diff > 1e-12 {
+				t.Fatalf("%s: AddDecoded diverged at %d", spec, i)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	dst := make([]float64, 3)
+	bad := Message{Dim: 5, Enc: EncDense, Dense: make([]float64, 5)}
+	if err := Decode(bad, dst); err == nil {
+		t.Fatal("Decode accepted dim mismatch")
+	}
+	if err := AddDecoded(bad, dst); err == nil {
+		t.Fatal("AddDecoded accepted dim mismatch")
+	}
+	unknown := Message{Dim: 3, Enc: Encoding(9)}
+	if err := Decode(unknown, dst); err == nil {
+		t.Fatal("Decode accepted unknown encoding")
+	}
+	if err := AddDecoded(unknown, dst); err == nil {
+		t.Fatal("AddDecoded accepted unknown encoding")
+	}
+}

@@ -16,11 +16,20 @@
 // SampleD (same value, same RNG draws), so every pre-existing profile and
 // trace is the bandwidth=infinity special case, bit for bit.
 //
-// Only SampleDBytes/MeanDBytes/AlphaBytes are size-aware. The paper-model
-// helpers (SampleD, MeanD, Alpha, SampleSyncIteration, SampleRound,
-// MeasureBreakdown, and the closed forms) deliberately charge the size-free
-// D of Sec 3.1 even on a bandwidth-constrained Model — pass the payload
-// explicitly via the *Bytes methods when analyzing a constrained link.
+// Only the *Bytes helpers (SampleDBytes/MeanDBytes/AlphaBytes and the
+// Monte-Carlo variants SampleSyncIterationBytes, SampleRoundBytes,
+// SamplePerIterationBytes, MeasureBreakdownBytes) are size-aware. The
+// paper-model helpers (SampleD, MeanD, Alpha, SampleSyncIteration,
+// SampleRound, MeasureBreakdown, and the closed forms) deliberately charge
+// the size-free D of Sec 3.1 even on a bandwidth-constrained Model — pass
+// the payload explicitly via the *Bytes methods when analyzing a constrained
+// link.
+//
+// Heterogeneous clusters set Model.Links, giving each worker its own
+// Link{Latency, Bandwidth}; SampleDSchedule then prices a round from the
+// topology's actual transfer schedule (per-worker wire bytes from
+// internal/comm plus the topology's hop multipliers), with the slowest link
+// gating the round.
 //
 // The model supplies three things to the rest of the repo:
 //
@@ -35,6 +44,8 @@ package delaymodel
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"repro/internal/rng"
 )
@@ -76,6 +87,20 @@ func (TreeScaling) Factor(m int) float64 {
 
 func (TreeScaling) String() string { return "s(m)=2log2(m)" }
 
+// Link describes one worker's attachment to the network, for heterogeneous
+// clusters where stragglers are slow in bytes per second, not just compute
+// (Spiridonoff et al. 2020; Kas Hanna et al. 2022). The zero value is a
+// transparent link: no extra latency, bandwidth inherited from
+// Model.Bandwidth.
+type Link struct {
+	// Latency is extra fixed delay (simulated seconds) this worker's link
+	// adds to every transfer hop it participates in.
+	Latency float64
+	// Bandwidth is this worker's link rate in bytes per simulated second;
+	// 0 inherits Model.Bandwidth (which may itself be 0 = infinite).
+	Bandwidth float64
+}
+
 // Model is the full delay model for a cluster of M workers.
 type Model struct {
 	M     int              // number of workers
@@ -87,6 +112,20 @@ type Model struct {
 	// second; 0 means infinite (the size-free broadcast of the paper's
 	// model, and the default for all legacy profiles).
 	Bandwidth float64
+
+	// Links optionally gives every worker its own uplink/downlink
+	// (len(Links) must equal M when non-nil). nil keeps the homogeneous
+	// model: every transfer is charged against the shared Bandwidth, which
+	// is the legacy behavior bit for bit.
+	Links []Link
+}
+
+// CheckLinks validates the per-worker link table.
+func (dm *Model) CheckLinks() error {
+	if dm.Links != nil && len(dm.Links) != dm.M {
+		return fmt.Errorf("delaymodel: %d links for %d workers", len(dm.Links), dm.M)
+	}
+	return nil
 }
 
 // New builds a delay model, defaulting Scale to ConstantScaling.
@@ -143,16 +182,93 @@ func (dm *Model) AlphaBytes(bytes int) float64 {
 	return dm.MeanDBytes(bytes) / dm.MeanY()
 }
 
-// SampleSyncIteration draws one iteration time of fully synchronous SGD
-// (paper eq 7): max over workers of one compute time, plus D.
-func (dm *Model) SampleSyncIteration(r *rng.Rand) float64 {
-	mx := math.Inf(-1)
-	for i := 0; i < dm.M; i++ {
-		if v := dm.Y.Sample(r); v > mx {
-			mx = v
+// SampleDSchedule draws the communication delay of one synchronization round
+// from its actual transfer schedule: bytesPerWorker is each worker's wire
+// volume (internal/comm's Report.Bytes), latHops the topology's count of
+// sequential message launches, and bytesFactor the multiple of the payload
+// each link carries over the whole collective (comm.Topology.LatencyHops and
+// BytesFactor; both 1 for the legacy overlapped all-gather).
+//
+// With nil Links the round is gated by the largest message against the
+// shared Bandwidth — for latHops = bytesFactor = 1 this is exactly
+// SampleDBytes(max bytes): same value, same single RNG draw, so every legacy
+// trace is preserved bit for bit. With Links set, each worker's transfer is
+// priced on its own link (falling back to the shared Bandwidth when the
+// link's is 0) and the slowest link gates the round.
+func (dm *Model) SampleDSchedule(r *rng.Rand, bytesPerWorker []int, latHops, bytesFactor float64) float64 {
+	d := dm.D0.Sample(r) * latHops
+	if dm.Links == nil {
+		mx := 0
+		for _, b := range bytesPerWorker {
+			if b > mx {
+				mx = b
+			}
+		}
+		if dm.Bandwidth > 0 && mx > 0 {
+			d += float64(mx) * bytesFactor / dm.Bandwidth
+		}
+		return d * dm.Scale.Factor(dm.M)
+	}
+	slow := 0.0
+	for i, b := range bytesPerWorker {
+		l := dm.Links[i]
+		t := l.Latency * latHops
+		bw := l.Bandwidth
+		if bw == 0 {
+			bw = dm.Bandwidth
+		}
+		if bw > 0 && b > 0 {
+			t += float64(b) * bytesFactor / bw
+		}
+		if t > slow {
+			slow = t
 		}
 	}
-	return mx + dm.SampleD(r)
+	return (d + slow) * dm.Scale.Factor(dm.M)
+}
+
+// ParseLinks parses the per-worker link flag syntax: a comma-separated list
+// of "latency:bandwidth" pairs, one per worker (e.g. "0:4096,0:4096,0:409.6"
+// gives the last worker a 10x slower link). Either part may be empty for its
+// zero value ("0:" = ":0" = ":" = transparent link).
+func ParseLinks(s string, m int) ([]Link, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != m {
+		return nil, fmt.Errorf("delaymodel: %d links for %d workers in %q", len(parts), m, s)
+	}
+	links := make([]Link, m)
+	for i, p := range parts {
+		lat, bw, ok := strings.Cut(strings.TrimSpace(p), ":")
+		if !ok {
+			return nil, fmt.Errorf("delaymodel: link %q needs latency:bandwidth", p)
+		}
+		var err error
+		if lat != "" {
+			if links[i].Latency, err = strconv.ParseFloat(lat, 64); err != nil {
+				return nil, fmt.Errorf("delaymodel: bad latency in %q: %v", p, err)
+			}
+		}
+		if bw != "" {
+			if links[i].Bandwidth, err = strconv.ParseFloat(bw, 64); err != nil {
+				return nil, fmt.Errorf("delaymodel: bad bandwidth in %q: %v", p, err)
+			}
+		}
+		if links[i].Latency < 0 || links[i].Bandwidth < 0 {
+			return nil, fmt.Errorf("delaymodel: negative link %q", p)
+		}
+	}
+	return links, nil
+}
+
+// SampleSyncIteration draws one iteration time of fully synchronous SGD
+// (paper eq 7): max over workers of one compute time, plus D. A zero-byte
+// payload makes SampleDBytes exactly SampleD (same value, same draws), so
+// the size-free samplers delegate to their *Bytes counterparts with 0.
+func (dm *Model) SampleSyncIteration(r *rng.Rand) float64 {
+	return dm.SampleSyncIterationBytes(r, 0)
 }
 
 // SampleRound draws the wall-clock time of one PASGD round of tau local
@@ -160,6 +276,26 @@ func (dm *Model) SampleSyncIteration(r *rng.Rand) float64 {
 // tau compute times, plus D. Dividing by tau gives the per-iteration time
 // whose expectation is eq 11.
 func (dm *Model) SampleRound(tau int, r *rng.Rand) float64 {
+	return dm.SampleRoundBytes(tau, r, 0)
+}
+
+// SampleSyncIterationBytes is SampleSyncIteration with the broadcast charged
+// the size-aware cost of a `bytes` payload (SampleDBytes instead of the
+// paper's size-free SampleD) — the Fig 5 sampler for bandwidth-constrained
+// links.
+func (dm *Model) SampleSyncIterationBytes(r *rng.Rand, bytes int) float64 {
+	mx := math.Inf(-1)
+	for i := 0; i < dm.M; i++ {
+		if v := dm.Y.Sample(r); v > mx {
+			mx = v
+		}
+	}
+	return mx + dm.SampleDBytes(r, bytes)
+}
+
+// SampleRoundBytes is SampleRound with the averaging broadcast charged the
+// size-aware cost of a `bytes` payload.
+func (dm *Model) SampleRoundBytes(tau int, r *rng.Rand, bytes int) float64 {
 	if tau < 1 {
 		panic("delaymodel: tau must be >= 1")
 	}
@@ -173,7 +309,13 @@ func (dm *Model) SampleRound(tau int, r *rng.Rand) float64 {
 			mx = sum
 		}
 	}
-	return mx + dm.SampleD(r)
+	return mx + dm.SampleDBytes(r, bytes)
+}
+
+// SamplePerIterationBytes draws the per-iteration time of PASGD with period
+// tau under a size-aware broadcast of `bytes` per round.
+func (dm *Model) SamplePerIterationBytes(tau int, r *rng.Rand, bytes int) float64 {
+	return dm.SampleRoundBytes(tau, r, bytes) / float64(tau)
 }
 
 // SamplePerIteration draws the per-iteration time of PASGD with period tau
@@ -304,7 +446,17 @@ type Breakdown struct {
 
 // MeasureBreakdown simulates `iters` iterations of PASGD with period tau
 // and splits the elapsed time into compute and communication components.
+// It charges the paper's size-free D; a zero-byte payload makes
+// MeasureBreakdownBytes identical (same values, same draws).
 func MeasureBreakdown(p Profile, m, tau, iters int, r *rng.Rand) Breakdown {
+	return MeasureBreakdownBytes(p, m, tau, iters, r, 0)
+}
+
+// MeasureBreakdownBytes is MeasureBreakdown with every broadcast charged the
+// size-aware cost of a `bytes` payload against the profile's bandwidth — the
+// Fig 8 driver for bandwidth-constrained links (the size-free variant
+// deliberately charges the paper's fixed D even on a constrained Model).
+func MeasureBreakdownBytes(p Profile, m, tau, iters int, r *rng.Rand, bytes int) Breakdown {
 	dm := p.Model(m, ConstantScaling{})
 	b := Breakdown{Profile: p.Name, Tau: tau, Iters: iters}
 	done := 0
@@ -324,7 +476,7 @@ func MeasureBreakdown(p Profile, m, tau, iters int, r *rng.Rand) Breakdown {
 			}
 		}
 		b.Compute += mx
-		b.Comm += dm.SampleD(r)
+		b.Comm += dm.SampleDBytes(r, bytes)
 		done += steps
 	}
 	b.WallClock = b.Compute + b.Comm

@@ -308,3 +308,132 @@ func TestFederatedProfileBandwidthBound(t *testing.T) {
 		t.Fatalf("federated latency %v, want small", dm.MeanD())
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Transfer schedules, heterogeneous links, and the *Bytes MC variants.
+// ---------------------------------------------------------------------------
+
+func TestSampleDScheduleHomogeneousMatchesSampleDBytes(t *testing.T) {
+	// With nil Links and unit hop multipliers the schedule sampler is the
+	// legacy per-link charge, bit for bit and draw for draw.
+	dm := New(4, rng.Constant{Value: 1}, rng.Exponential{MeanVal: 2}, TreeScaling{})
+	dm.Bandwidth = 100
+	r1, r2 := rng.New(3), rng.New(3)
+	for i := 0; i < 50; i++ {
+		a := dm.SampleDBytes(r1, 640)
+		b := dm.SampleDSchedule(r2, []int{100, 640, 10, 5}, 1, 1)
+		if a != b {
+			t.Fatalf("schedule %v != legacy %v at draw %d", b, a, i)
+		}
+	}
+}
+
+func TestSampleDScheduleHopMultipliers(t *testing.T) {
+	dm := New(4, rng.Constant{Value: 1}, rng.Constant{Value: 2}, ConstantScaling{})
+	dm.Bandwidth = 100
+	r := rng.New(1)
+	// latHops scales the base latency, bytesFactor the transfer term.
+	got := dm.SampleDSchedule(r, []int{200}, 3, 1.5)
+	want := 2*3 + 200*1.5/100.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("schedule delay %v, want %v", got, want)
+	}
+}
+
+func TestSampleDScheduleSlowestLinkGates(t *testing.T) {
+	dm := New(3, rng.Constant{Value: 1}, rng.Constant{Value: 1}, ConstantScaling{})
+	dm.Bandwidth = 100
+	dm.Links = []Link{{}, {Bandwidth: 10}, {Latency: 5}}
+	r := rng.New(1)
+	// Worker 0 inherits 100 B/s (1 s), worker 1 pays 100/10 = 10 s, worker 2
+	// pays 5 s latency plus 1 s transfer: the 10 s link gates the round.
+	got := dm.SampleDSchedule(r, []int{100, 100, 100}, 1, 1)
+	if want := 1 + 10.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("gated delay %v, want %v", got, want)
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	dm := New(4, rng.Constant{Value: 1}, rng.Constant{Value: 1}, nil)
+	if err := dm.CheckLinks(); err != nil {
+		t.Fatalf("nil links rejected: %v", err)
+	}
+	dm.Links = make([]Link, 3)
+	if err := dm.CheckLinks(); err == nil {
+		t.Fatal("accepted 3 links for 4 workers")
+	}
+}
+
+func TestParseLinks(t *testing.T) {
+	links, err := ParseLinks("0.5:100, :50,0:,:", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Link{{Latency: 0.5, Bandwidth: 100}, {Bandwidth: 50}, {}, {}}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("link %d = %+v, want %+v", i, links[i], want[i])
+		}
+	}
+	if l, err := ParseLinks("", 4); err != nil || l != nil {
+		t.Fatalf("empty spec should be nil links: %v %v", l, err)
+	}
+	for _, bad := range []string{"1:2", "x:1,:,:,:", "1:y,:,:,:", "-1:0,:,:,:"} {
+		if _, err := ParseLinks(bad, 4); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestSampleSyncIterationBytesChargesPayload(t *testing.T) {
+	dm := New(4, rng.Constant{Value: 1}, rng.Constant{Value: 1}, ConstantScaling{})
+	dm.Bandwidth = 100
+	r := rng.New(2)
+	free := dm.SampleSyncIteration(r)
+	sized := dm.SampleSyncIterationBytes(r, 500)
+	if want := free + 5; math.Abs(sized-want) > 1e-12 {
+		t.Fatalf("sized sync iteration %v, want %v", sized, want)
+	}
+}
+
+func TestSampleRoundBytesChargesPayload(t *testing.T) {
+	dm := New(4, rng.Constant{Value: 1}, rng.Constant{Value: 1}, ConstantScaling{})
+	dm.Bandwidth = 100
+	r := rng.New(2)
+	free := dm.SampleRound(10, r)
+	sized := dm.SampleRoundBytes(10, r, 500)
+	if want := free + 5; math.Abs(sized-want) > 1e-12 {
+		t.Fatalf("sized round %v, want %v", sized, want)
+	}
+	per := dm.SamplePerIterationBytes(10, r, 500)
+	if want := sized / 10; math.Abs(per-want) > 1e-12 {
+		t.Fatalf("sized per-iteration %v, want %v", per, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted tau = 0")
+		}
+	}()
+	dm.SampleRoundBytes(0, r, 1)
+}
+
+func TestMeasureBreakdownBytes(t *testing.T) {
+	p := Profile{
+		Name:      "const",
+		ComputeY:  rng.Constant{Value: 1},
+		CommD0:    rng.Constant{Value: 1},
+		Bandwidth: 100,
+	}
+	r := rng.New(3)
+	b := MeasureBreakdownBytes(p, 4, 10, 100, r, 500)
+	// 10 rounds: compute 10*10, comm 10*(1 + 500/100).
+	if math.Abs(b.Compute-100) > 1e-12 || math.Abs(b.Comm-60) > 1e-12 {
+		t.Fatalf("breakdown %+v, want compute 100 comm 60", b)
+	}
+	// The size-free driver on the same constrained profile still charges the
+	// paper's fixed D (documented behavior).
+	free := MeasureBreakdown(p, 4, 10, 100, rng.New(3))
+	if math.Abs(free.Comm-10) > 1e-12 {
+		t.Fatalf("size-free breakdown charged %v, want 10", free.Comm)
+	}
+}

@@ -383,3 +383,40 @@ func TestCompressionGridShape(t *testing.T) {
 		t.Fatal("PrintCompressionGrid empty")
 	}
 }
+
+func TestHeterogeneousStragglerAblationQuick(t *testing.T) {
+	spec := DefaultHeteroSpec(ScaleQuick)
+	rows := HeterogeneousStragglerAblation(spec)
+	if len(rows) != 3 {
+		t.Fatalf("want 3 methods, got %d", len(rows))
+	}
+	byName := map[string]HeteroRow{}
+	for _, r := range rows {
+		if math.IsNaN(r.FinalLoss) || math.IsInf(r.FinalLoss, 0) {
+			t.Fatalf("%s diverged: %v", r.Method, r.FinalLoss)
+		}
+		byName[r.Method] = r
+	}
+	// tau=1 pays the slow link every iteration, so under the same budget it
+	// completes far fewer local steps than the amortizing fixed period.
+	if byName["tau=1"].Iters*4 > byName["tau=16"].Iters {
+		t.Fatalf("tau=1 iters %d should trail tau=16 iters %d by >= 4x",
+			byName["tau=1"].Iters, byName["tau=16"].Iters)
+	}
+	// AdaComm starts at tau0 (amortizing the slow link) and decays tau, so
+	// it must complete more work AND reach a lower loss than communicating
+	// every step on the constrained link.
+	if byName["adacomm"].Iters <= byName["tau=1"].Iters {
+		t.Fatalf("adacomm iters %d should beat tau=1 iters %d",
+			byName["adacomm"].Iters, byName["tau=1"].Iters)
+	}
+	if byName["adacomm"].FinalLoss >= byName["tau=1"].FinalLoss {
+		t.Fatalf("adacomm loss %v should beat tau=1 loss %v on the slow link",
+			byName["adacomm"].FinalLoss, byName["tau=1"].FinalLoss)
+	}
+	var buf strings.Builder
+	PrintHeterogeneousAblation(&buf, spec, rows)
+	if !strings.Contains(buf.String(), "adacomm") {
+		t.Fatal("print output missing methods")
+	}
+}

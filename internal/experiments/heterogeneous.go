@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/delaymodel"
+	"repro/internal/sgd"
+)
+
+// The heterogeneous-link ablation extends the paper's straggler analysis
+// (Sec 3.2) to the regime studied by the adaptive distributed-SGD follow-ups
+// (Spiridonoff et al. 2020; Kas Hanna et al. 2022): the straggler is slow in
+// bytes per second, not compute. One worker's uplink is 10x worse than the
+// rest, so every synchronization is gated by its transfer time; communicating
+// rarely (large tau) amortizes the slow link, and AdaComm's decaying-tau
+// schedule buys the large-tau runtime early without the error floor late.
+
+// HeteroSpec parameterizes the bandwidth-straggler ablation.
+type HeteroSpec struct {
+	Scale      Scale
+	Seed       uint64
+	Workers    int
+	Bandwidth  float64 // healthy per-worker link, bytes per simulated second
+	SlowFactor float64 // the straggler's link is Bandwidth/SlowFactor
+	TimeBudget float64
+	BatchSize  int
+	LR         float64
+	Tau0       int // AdaComm's initial period and the large fixed tau
+}
+
+// DefaultHeteroSpec is the shipped configuration: a logistic workload where
+// one dense broadcast over the slow link costs about 20 local steps.
+func DefaultHeteroSpec(scale Scale) HeteroSpec {
+	budget := 2400.0
+	if scale == ScaleQuick {
+		budget = 800
+	}
+	return HeteroSpec{
+		Scale:      scale,
+		Seed:       520,
+		Workers:    4,
+		Bandwidth:  256,
+		SlowFactor: 10,
+		TimeBudget: budget,
+		BatchSize:  8,
+		LR:         0.1,
+		Tau0:       16,
+	}
+}
+
+// HeteroRow is one method's outcome on the constrained cluster.
+type HeteroRow struct {
+	Method    string
+	FinalLoss float64
+	MinLoss   float64
+	Iters     int // local iterations completed within the budget
+	FinalTau  int
+}
+
+// HeterogeneousStragglerAblation runs fixed tau = 1, fixed tau = Tau0, and
+// AdaComm on a cluster where worker m-1 has a SlowFactor-times-worse link,
+// under the same simulated-time budget.
+func HeterogeneousStragglerAblation(spec HeteroSpec) []HeteroRow {
+	w := BuildWorkload(ArchLogistic, 4, spec.Workers, spec.Scale, spec.Seed)
+	w.Delay.Bandwidth = spec.Bandwidth
+	links := make([]delaymodel.Link, spec.Workers)
+	links[spec.Workers-1].Bandwidth = spec.Bandwidth / spec.SlowFactor
+	w.Delay.Links = links
+
+	cfg := cluster.Config{
+		BatchSize:  spec.BatchSize,
+		MaxTime:    spec.TimeBudget,
+		EvalEvery:  100,
+		EvalSubset: 400,
+		Seed:       spec.Seed + 1,
+	}
+	run := func(name string, ctrl cluster.Controller) HeteroRow {
+		e := w.Engine(cfg)
+		tr := e.Run(ctrl, name)
+		row := HeteroRow{
+			Method:    name,
+			FinalLoss: tr.FinalLoss(),
+			MinLoss:   tr.MinLoss(),
+			Iters:     tr.Last().Iter,
+			FinalTau:  tr.Last().Tau,
+		}
+		return row
+	}
+
+	sched := sgd.Const{Eta: spec.LR}
+	rows := []HeteroRow{
+		run("tau=1", cluster.FixedTau{Tau: 1, Schedule: sched}),
+		run(fmt.Sprintf("tau=%d", spec.Tau0), cluster.FixedTau{Tau: spec.Tau0, Schedule: sched}),
+		run("adacomm", core.NewAdaComm(core.Config{
+			Tau0: spec.Tau0, Interval: spec.TimeBudget / 12, Gamma: 0.5,
+			Schedule: sched,
+		})),
+	}
+	return rows
+}
+
+// PrintHeterogeneousAblation renders the comparison.
+func PrintHeterogeneousAblation(w io.Writer, spec HeteroSpec, rows []HeteroRow) {
+	fmt.Fprintf(w, "== Bandwidth straggler: worker %d at %g B/s, rest at %g B/s, budget %g s ==\n",
+		spec.Workers-1, spec.Bandwidth/spec.SlowFactor, spec.Bandwidth, spec.TimeBudget)
+	fmt.Fprintf(w, "%-10s %12s %12s %8s %9s\n", "method", "final loss", "min loss", "iters", "final tau")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12.5f %12.5f %8d %9d\n",
+			r.Method, r.FinalLoss, r.MinLoss, r.Iters, r.FinalTau)
+	}
+}

@@ -1,0 +1,82 @@
+package paramserver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// Golden traces captured from the pre-comm-layer server. The refactor that
+// routes push/pull through internal/comm (and adds priced, delta-compressed
+// pulls plus per-worker links) must keep every zero-value-config path —
+// including the finite-bandwidth dense push — bit-identical.
+
+func fnvBits(h *uint64, v float64) {
+	const prime64 = 1099511628211
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		*h ^= uint64(byte(u >> (8 * i)))
+		*h *= prime64
+	}
+}
+
+func fnvParams(p []float64) uint64 {
+	var sum uint64 = 14695981039346656037
+	for _, v := range p {
+		fnvBits(&sum, v)
+	}
+	return sum
+}
+
+func fnvTrace(tr *metrics.Trace) uint64 {
+	var sum uint64 = 14695981039346656037
+	for _, p := range tr.Points {
+		fnvBits(&sum, p.Time)
+		fnvBits(&sum, p.Loss)
+	}
+	return sum
+}
+
+func TestGoldenTracesBitIdentical(t *testing.T) {
+	ksync := psConfig(KSync)
+
+	kasync := psConfig(KAsync)
+
+	ksyncBW := psConfig(KSync)
+	ksyncBW.Bandwidth = 50
+	ksyncBW.MaxUpdates = 50
+
+	cases := []struct {
+		name   string
+		cfg    Config
+		k      int
+		lr     float64
+		params uint64
+		trace  uint64
+		clock  float64
+	}{
+		{"ksync", ksync, 4, 0.2, 0xde3c142579fecb4c, 0xc8251e922fb5a2ff, 446.04160610066697},
+		{"kasync", kasync, 2, 0.1, 0x06d8d1a511e1f61f, 0xcb45685b1fe12d48, 134.13718879672388},
+		{"ksync-bw", ksyncBW, 4, 0.2, 0x83f9650c1d56991d, 0x706737d24a6f6281, 471.03423112474451},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			proto, shards, train := psSetup(t, 4)
+			s, err := New(proto, shards, train, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, _ := s.Run(FixedK{K: tc.k, LR: tc.lr}, tc.name)
+			if got := fnvParams(s.Params()); got != tc.params {
+				t.Errorf("params hash %#016x, golden %#016x", got, tc.params)
+			}
+			if got := fnvTrace(tr); got != tc.trace {
+				t.Errorf("trace hash %#016x, golden %#016x", got, tc.trace)
+			}
+			if got := s.Clock(); got != tc.clock {
+				t.Errorf("clock %v, golden %v", got, tc.clock)
+			}
+		})
+	}
+}

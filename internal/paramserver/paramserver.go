@@ -21,6 +21,13 @@
 // transplanted: start with small K (fast, noisy/stale updates — the analog
 // of large tau) and raise K toward m as the loss decreases (the analog of
 // decaying tau), using the same loss-ratio rule and saturation refinement.
+//
+// All worker<->server exchange routes through a star-topology communicator
+// (internal/comm). Gradient pushes may be compressed (Config.Compress) and
+// model pulls priced and delta-compressed against each worker's last pulled
+// reconstruction (Config.PullCompress); Config.Links gives workers
+// heterogeneous uplinks/downlinks. Every zero-value knob preserves the
+// legacy protocol byte for byte (enforced by golden tests).
 package paramserver
 
 import (
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/comm"
 	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/delaymodel"
@@ -101,6 +109,22 @@ type Config struct {
 	// unchanged). Each worker owns a compressor instance, so error
 	// feedback accumulates per worker exactly as in the PASGD engine.
 	Compress compress.Spec
+	// PullCompress prices and compresses the model PULL: the server sends
+	// each worker the delta of the current model against that worker's last
+	// pulled reconstruction, compressed with this spec, and the downlink
+	// payload is charged against the worker's link. KindIdentity gives a
+	// priced but lossless pull; sparsifying kinds make the pulled model a
+	// reconstruction (delta coding against the worker's own last pull keeps
+	// the error from accumulating: whatever one pull drops is part of the
+	// next pull's delta). The zero value keeps the legacy free/dense pull,
+	// byte-for-byte.
+	PullCompress compress.Spec
+	// Links optionally gives each worker its own uplink/downlink
+	// (len(Links) must equal the worker count): every exchange of worker i
+	// is charged Links[i].Latency plus payload/Links[i].Bandwidth (falling
+	// back to the shared Bandwidth when the link's is 0). nil keeps the
+	// homogeneous legacy pricing.
+	Links []delaymodel.Link
 	// Stop conditions (at least one required).
 	MaxUpdates int     // server updates
 	MaxTime    float64 // simulated seconds
@@ -122,6 +146,11 @@ func (c Config) validate() error {
 	}
 	if c.Compress.Enabled() {
 		if err := c.Compress.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.PullCompress.Enabled() {
+		if err := c.PullCompress.Validate(); err != nil {
 			return err
 		}
 	}
@@ -174,13 +203,25 @@ type Server struct {
 
 	delayRand *rng.Rand
 
-	// Compression state: comps[i] is worker i's gradient compressor (nil
-	// slice when disabled); pushBytes is the per-exchange payload charged
-	// against Config.Bandwidth (compressed sizes are data-independent, so
-	// the scheduler can price an exchange before the gradient exists).
+	// Communication state: all worker<->server exchange routes through com
+	// (a star-topology internal/comm communicator). comps[i] is worker i's
+	// gradient compressor (nil slice when disabled); pushBytes is the
+	// per-exchange uplink payload (compressed sizes are data-independent,
+	// so the scheduler can price an exchange before the gradient exists).
+	com       comm.Communicator
 	comps     []compress.Compressor
 	decBuf    []float64
 	pushBytes int
+
+	// Pull state (PullCompress enabled): pullComps[i] compresses the model
+	// delta the server sends worker i, lastPulled[i] is the reconstruction
+	// both sides agreed on at i's previous pull, and lastPullBytes is the
+	// most recent pull's downlink payload.
+	pullComps     []compress.Compressor
+	lastPulled    [][]float64
+	pullDelta     []float64
+	pullBuf       []float64
+	lastPullBytes int
 }
 
 // New builds a server over m shards of the training set.
@@ -216,6 +257,10 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval *data.Dataset, cfg
 		evalDS = trainEval.Subset(idx)
 	}
 	s.evalBatch = data.FullBatch(evalDS)
+	if cfg.Links != nil && len(cfg.Links) != s.m {
+		return nil, fmt.Errorf("paramserver: %d links for %d workers", len(cfg.Links), s.m)
+	}
+	s.com = comm.New(comm.Star, s.m)
 	dim := proto.ParamLen()
 	s.pushBytes = 8 * dim
 	if cfg.Compress.Enabled() {
@@ -230,11 +275,33 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval *data.Dataset, cfg
 		}
 		s.decBuf = make([]float64, dim)
 	}
+	// Pull-compressor construction comes last so the zero-value config (and
+	// the push-only compressed config) consume exactly the legacy RNG
+	// stream.
+	if cfg.PullCompress.Enabled() {
+		s.pullComps = make([]compress.Compressor, s.m)
+		s.lastPulled = make([][]float64, s.m)
+		for i := range s.pullComps {
+			c, err := cfg.PullCompress.New(root.Split())
+			if err != nil {
+				return nil, err
+			}
+			s.pullComps[i] = c
+			s.lastPulled[i] = append([]float64(nil), s.params...)
+		}
+		s.pullDelta = make([]float64, dim)
+		s.pullBuf = make([]float64, dim)
+	}
 	return s, nil
 }
 
 // PushBytes returns the per-exchange gradient payload in bytes.
 func (s *Server) PushBytes() int { return s.pushBytes }
+
+// PullBytes returns the most recent model pull's downlink payload in bytes
+// (0 until the first priced pull; always 0 with PullCompress disabled, whose
+// legacy pull is free).
+func (s *Server) PullBytes() int { return s.lastPullBytes }
 
 // Loss evaluates the server model's training loss.
 func (s *Server) Loss() float64 {
@@ -251,17 +318,57 @@ func (s *Server) Version() int { return s.version }
 // Clock returns the simulated time.
 func (s *Server) Clock() float64 { return s.clock }
 
-// dispatch starts worker i computing a gradient at the current model.
+// dispatch starts worker i computing a gradient at the current model: the
+// worker pulls the model (free and exact on the legacy path; priced and
+// delta-compressed against its last pulled reconstruction when PullCompress
+// is set) and its gradient's completion event is scheduled with the
+// size-aware cost of the whole exchange on the worker's own link.
 func (s *Server) dispatch(i int) {
 	w := s.workers[i]
-	w.model.SetParams(s.params)
+	pullBytes := 0
+	if s.pullComps != nil {
+		// The server ships x - lastPulled[i]; both sides advance their
+		// shared reconstruction, so anything this pull's compressor drops
+		// is automatically part of the next pull's delta.
+		tensor.Sub(s.pullDelta, s.params, s.lastPulled[i])
+		msg, err := s.pullComps[i].Compress(s.pullDelta)
+		if err != nil {
+			panic(fmt.Sprintf("paramserver: worker %d pull compress: %v", i, err))
+		}
+		if err := compress.Decode(msg, s.pullBuf); err != nil {
+			panic(fmt.Sprintf("paramserver: worker %d pull decode: %v", i, err))
+		}
+		lp := s.lastPulled[i]
+		if msg.Enc == compress.EncDense {
+			// A dense delta is lossless, so both sides can snap to the
+			// server model exactly instead of trusting lp + (x - lp) to
+			// round-trip in floating point — this is what makes the
+			// identity pull's "priced but exact" guarantee literal.
+			copy(lp, s.params)
+		} else {
+			tensor.Axpy(1, s.pullBuf, lp)
+		}
+		w.model.SetParams(lp)
+		pullBytes = s.com.Pull(i, msg.Bytes()).DownBytes
+		s.lastPullBytes = pullBytes
+	} else {
+		w.model.SetParams(s.params)
+	}
 	w.version = s.version
 	// The actual gradient computation happens lazily at completion time;
 	// only the duration is decided now. Compressed payload sizes are
 	// data-independent, so the size-aware transfer term is deterministic.
 	dur := s.cfg.ComputeY.Sample(w.r) + s.cfg.PushDelay.Sample(s.delayRand)
-	if s.cfg.Bandwidth > 0 {
-		dur += float64(s.pushBytes) / s.cfg.Bandwidth
+	bw := s.cfg.Bandwidth
+	if s.cfg.Links != nil {
+		l := s.cfg.Links[i]
+		dur += l.Latency
+		if l.Bandwidth > 0 {
+			bw = l.Bandwidth
+		}
+	}
+	if wire := s.pushBytes + pullBytes; bw > 0 {
+		dur += float64(wire) / bw
 	}
 	s.seq++
 	heap.Push(&s.queue, event{at: s.clock + dur, worker: i, seq: s.seq})
@@ -279,8 +386,8 @@ func (s *Server) computeGradient(i int) []float64 {
 		if err != nil {
 			panic(fmt.Sprintf("paramserver: worker %d compress: %v", i, err))
 		}
-		if err := s.comps[i].Decompress(msg, s.decBuf); err != nil {
-			panic(fmt.Sprintf("paramserver: worker %d decompress: %v", i, err))
+		if _, err := s.com.Push(i, msg, s.decBuf); err != nil {
+			panic(fmt.Sprintf("paramserver: worker %d push: %v", i, err))
 		}
 		copy(w.grad, s.decBuf)
 	}

@@ -351,6 +351,124 @@ func TestCompressSpecValidatedByConfig(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Priced, delta-compressed pulls and heterogeneous links.
+// ---------------------------------------------------------------------------
+
+func TestPricedPullSlowsExchanges(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	run := func(pull compress.Spec) (*Server, float64) {
+		cfg := psConfig(KSync)
+		cfg.MaxUpdates = 50
+		cfg.Bandwidth = 50
+		cfg.PullCompress = pull
+		s, err := New(proto, shards, train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(FixedK{K: 4, LR: 0.2}, "t")
+		return s, s.Clock()
+	}
+	free, freeT := run(compress.Spec{})
+	if free.PullBytes() != 0 {
+		t.Fatalf("legacy pull priced at %d bytes, want 0", free.PullBytes())
+	}
+	priced, pricedT := run(compress.Spec{Kind: compress.KindIdentity})
+	if pricedT <= freeT {
+		t.Fatalf("priced dense pull did not slow the run: %v vs %v", pricedT, freeT)
+	}
+	if got, want := priced.PullBytes(), 8*proto.ParamLen(); got != want {
+		t.Fatalf("dense pull bytes %d, want %d", got, want)
+	}
+	// Delta-compressing the pull must claw time back and shrink the downlink.
+	sparse, sparseT := run(compress.Spec{Kind: compress.KindTopK, Ratio: 0.2})
+	if sparseT >= pricedT {
+		t.Fatalf("compressed pull not faster than dense pull: %v vs %v", sparseT, pricedT)
+	}
+	if sparse.PullBytes() >= priced.PullBytes() {
+		t.Fatalf("compressed pull bytes %d not below dense %d",
+			sparse.PullBytes(), priced.PullBytes())
+	}
+}
+
+func TestIdentityPullKeepsModelExact(t *testing.T) {
+	// A priced-but-lossless pull must not change the training trajectory:
+	// with Bandwidth = 0 the charge is also free, so the run must match the
+	// legacy pull bit for bit.
+	proto, shards, train := psSetup(t, 4)
+	run := func(pull compress.Spec) []float64 {
+		cfg := psConfig(KSync)
+		cfg.MaxUpdates = 60
+		cfg.PullCompress = pull
+		s, err := New(proto, shards, train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(FixedK{K: 4, LR: 0.2}, "t")
+		return s.Params()
+	}
+	legacy := run(compress.Spec{})
+	identity := run(compress.Spec{Kind: compress.KindIdentity})
+	for i := range legacy {
+		if legacy[i] != identity[i] {
+			t.Fatalf("identity pull drifted at param %d: %v vs %v",
+				i, legacy[i], identity[i])
+		}
+	}
+}
+
+func TestDeltaCompressedPullTrains(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	cfg := psConfig(KAsync)
+	cfg.PullCompress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.25}
+	s, err := New(proto, shards, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _ := s.Run(FixedK{K: 2, LR: 0.1}, "kasync-pull")
+	if trace.FinalLoss() >= trace.Points[0].Loss/2 {
+		t.Fatalf("delta-compressed pull failed to learn: %v -> %v",
+			trace.Points[0].Loss, trace.FinalLoss())
+	}
+}
+
+func TestHeterogeneousLinkSlowsKSync(t *testing.T) {
+	// K-sync with K = m waits for everyone, so one worker with a 10x worse
+	// link must stretch the simulated clock.
+	proto, shards, train := psSetup(t, 4)
+	run := func(links []delaymodel.Link) float64 {
+		cfg := psConfig(KSync)
+		cfg.MaxUpdates = 50
+		cfg.Bandwidth = 100
+		cfg.Links = links
+		s, err := New(proto, shards, train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(FixedK{K: 4, LR: 0.2}, "t")
+		return s.Clock()
+	}
+	homog := run(nil)
+	hetero := run([]delaymodel.Link{{}, {}, {}, {Bandwidth: 10}})
+	if hetero <= homog {
+		t.Fatalf("slow link did not stretch the clock: %v vs %v", hetero, homog)
+	}
+}
+
+func TestLinksValidated(t *testing.T) {
+	proto, shards, train := psSetup(t, 4)
+	cfg := psConfig(KSync)
+	cfg.Links = []delaymodel.Link{{}}
+	if _, err := New(proto, shards, train, cfg); err == nil {
+		t.Fatal("accepted wrong link count")
+	}
+	cfg = psConfig(KSync)
+	cfg.PullCompress = compress.Spec{Kind: compress.KindTopK, Ratio: 9}
+	if _, err := New(proto, shards, train, cfg); err == nil {
+		t.Fatal("accepted invalid pull compress spec")
+	}
+}
+
 func TestSizedDelayFromProfile(t *testing.T) {
 	p := delaymodel.VGG16Profile().Constrained(1024)
 	y, push, bw := SizedDelayFromProfile(p, 4)
