@@ -11,6 +11,7 @@
 //	adacomm -arch vgg -method adacomm -compress topk:0.05 -bandwidth 4096 -adapt-compression
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -topology tree
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -links "0:,0:,0:,0:25.6"
+//	adacomm -arch logistic -method adacomm -bandwidth 256 -links "0:,0:,0:,0:25.6" -link-aware
 package main
 
 import (
@@ -55,6 +56,8 @@ func main() {
 	linksFlag := flag.String("links", "",
 		"per-worker heterogeneous links as comma-separated latency:bandwidth pairs, one per worker "+
 			"(empty part = inherit; e.g. \"0:,0:,0:,0:25.6\" makes the last worker's link slow)")
+	linkAware := flag.Bool("link-aware", false,
+		"with -method adacomm: scale tau by the observed comm/compute ratio (slow links hold tau higher)")
 	flag.Parse()
 
 	spec, err := compress.ParseSpec(*compressFlag)
@@ -76,6 +79,10 @@ func main() {
 	}
 	if *adaptCompression && *method != "adacomm" {
 		fmt.Fprintln(os.Stderr, "adacomm: -adapt-compression requires -method adacomm")
+		os.Exit(2)
+	}
+	if *linkAware && *method != "adacomm" {
+		fmt.Fprintln(os.Stderr, "adacomm: -link-aware requires -method adacomm")
 		os.Exit(2)
 	}
 
@@ -131,6 +138,7 @@ func main() {
 			Schedule:     sched,
 			Coupling:     couplingFlag(*variableLR),
 			DeferLRDecay: *variableLR,
+			LinkAware:    *linkAware,
 		}
 		if *adaptCompression {
 			ctrl = core.NewAdaCommCompress(coreCfg,

@@ -10,6 +10,16 @@
 //	figures -table 1        # only Table 1
 //	figures -quick          # reduced sizes (smoke test)
 //	figures -csv out/       # also write trace CSVs into out/
+//
+// The Monte-Carlo runtime figures (5, 8) and the bound-driven schedule
+// (fig 7) can be regenerated for a bandwidth-constrained link by pricing
+// each broadcast's payload:
+//
+//	figures -fig 5 -bytes 800000 -bandwidth 4e6   # 0.2 s/transfer
+//	figures -fig 8 -bytes 800000 -bandwidth 4e6
+//
+// With the default -bytes 0 the output is bit-identical to the size-free
+// paper model.
 package main
 
 import (
@@ -27,7 +37,20 @@ func main() {
 	table := flag.Int("table", 0, "regenerate only this table number (0 = all)")
 	quick := flag.Bool("quick", false, "use reduced experiment sizes")
 	csvDir := flag.String("csv", "", "directory to write trace CSVs into")
+	bytes := flag.Int("bytes", 0,
+		"per-broadcast payload in bytes for the runtime figures 5/7/8 (0 = the paper's size-free model)")
+	bandwidth := flag.Float64("bandwidth", 0,
+		"per-link bandwidth in bytes per simulated second for -bytes pricing (0 = infinite)")
 	flag.Parse()
+
+	if *bytes < 0 || *bandwidth < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -bytes %d and -bandwidth %g must be >= 0\n", *bytes, *bandwidth)
+		os.Exit(2)
+	}
+	if *bytes > 0 && *bandwidth <= 0 {
+		fmt.Fprintln(os.Stderr, "figures: -bytes needs a finite -bandwidth to price the transfer")
+		os.Exit(2)
+	}
 
 	scale := experiments.ScaleFull
 	if *quick {
@@ -74,7 +97,7 @@ func main() {
 		if scale == experiments.ScaleQuick {
 			trials = 20000
 		}
-		experiments.PrintFig5(out, experiments.Fig5(trials, 1))
+		experiments.PrintFig5(out, experiments.Fig5Bytes(trials, 1, *bytes, *bandwidth))
 		fmt.Fprintln(out)
 	}
 	if all || *fig == 6 {
@@ -82,11 +105,12 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if all || *fig == 7 {
-		experiments.PrintFig7(out, experiments.Fig7(experiments.Fig6Constants(), 60, 10, 64))
+		c := experiments.SizeAwareConstants(experiments.Fig6Constants(), *bytes, *bandwidth)
+		experiments.PrintFig7(out, experiments.Fig7(c, 60, 10, 64))
 		fmt.Fprintln(out)
 	}
 	if all || *fig == 8 {
-		experiments.PrintFig8(out, experiments.Fig8(4, 2))
+		experiments.PrintFig8(out, experiments.Fig8Bytes(4, 2, *bytes, *bandwidth))
 		fmt.Fprintln(out)
 	}
 	if all || *fig == 9 {

@@ -30,4 +30,20 @@
 // the slowest link gating each round; parameter-server pulls are priced and
 // delta-compressed against each worker's last pulled reconstruction. See
 // examples/heterogeneous and cmd/adacomm's -topology / -links flags.
+//
+// The adaptive controllers are heterogeneity-aware end to end: the engines
+// report observed timing back to the controllers — cluster.RoundInfo carries
+// the per-round communication/compute wall-clock split and the per-worker
+// transfer times of each round's schedule (delaymodel.SampleDScheduleInto),
+// and paramserver.RoundInfo the per-worker exchange transfer times. With
+// core.Config.LinkAware, AdaComm (and the joint AdaCommCompress) scales its
+// proposed tau by sqrt of the measured comm/compute ratio alpha, so slow
+// links hold tau higher, per Theorem 2's tau* ~ sqrt(D) scaling; with
+// paramserver.AdaSyncConfig.LinkAware, AdaSync caps K at the number of links
+// within a cutoff of the fastest (waiting only for the K fastest links, the
+// Kas Hanna et al. 2022 direction). Every LinkAware-off trajectory is pinned
+// bit-identical to the static rules by golden tests; the link-aware ablation
+// in internal/experiments quantifies the win on a 10x bandwidth straggler.
+// See cmd/adacomm's -link-aware flag and cmd/figures' -bytes/-bandwidth
+// flags for the size-aware Fig 5/7/8 Monte-Carlo variants.
 package repro

@@ -153,6 +153,24 @@ type RoundInfo struct {
 	LastTau  int     // tau used in the previous round (0 before first)
 	LastLR   float64 // learning rate used in the previous round
 	LastLoss float64 // most recent evaluated training loss (NaN if none)
+
+	// Observed timing, populated by the engine (all zero before the first
+	// round). CommTime and ComputeTime split Time into the cumulative
+	// simulated wall-clock spent on synchronization versus local compute;
+	// LastCommTime is the previous round's synchronization delay alone.
+	// Their ratio is the controller-visible estimate of the paper's runtime
+	// term alpha = E[D]/E[Y], which link-aware controllers consume.
+	CommTime     float64
+	ComputeTime  float64
+	LastCommTime float64
+
+	// LinkTimes[i] is worker i's own transfer time in the previous round's
+	// schedule (delaymodel.SampleDScheduleInto: link latency times the
+	// topology's hops plus wire bytes over the link's bandwidth, before the
+	// model's scale factor) — which link gated the round and by how much.
+	// The slice is engine-owned and overwritten every round; controllers
+	// must not retain or mutate it. Nil before the first round.
+	LinkTimes []float64
 }
 
 // Controller chooses the communication period and learning rate for the
@@ -218,6 +236,7 @@ type Engine struct {
 	lastReport  comm.Report
 	latHops     float64
 	bytesFactor float64
+	linkTimes   []float64 // per-worker transfer times of the last round
 
 	// Compression state: comps[i] is worker i's compressor (owning its
 	// error-feedback residual and stochastic stream); nil when the legacy
@@ -318,6 +337,7 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 	e.latHops = cfg.Topology.LatencyHops(m)
 	e.bytesFactor = cfg.Topology.BytesFactor(m)
 	e.lastReport = comm.DenseReport(m, e.dim)
+	e.linkTimes = make([]float64, m)
 	e.sumBuf = make([]float64, e.dim)
 	e.msgBuf = make([]compress.Message, m)
 	if cfg.Compress.Enabled() {
@@ -364,12 +384,14 @@ func (e *Engine) TestAccuracy() float64 {
 
 // roundTime samples the wall-clock duration of a round of `steps` local
 // iterations followed by one synchronization, honoring per-worker straggler
-// factors: max_i slow_i * sum_k Y + D. The synchronization is charged the
-// size-aware cost of the round's transfer schedule — per-worker wire bytes
-// from the communicator, scaled by the topology's hop multipliers and priced
-// on each worker's own link when the delay model is heterogeneous. On a
-// homogeneous infinite-bandwidth all-gather this is the paper's fixed D.
-func (e *Engine) roundTime(steps int) float64 {
+// factors: compute is max_i slow_i * sum_k Y, comm is D. The synchronization
+// is charged the size-aware cost of the round's transfer schedule —
+// per-worker wire bytes from the communicator, scaled by the topology's hop
+// multipliers and priced on each worker's own link when the delay model is
+// heterogeneous — and the per-worker transfer times land in e.linkTimes for
+// the next RoundInfo. On a homogeneous infinite-bandwidth all-gather comm is
+// the paper's fixed D.
+func (e *Engine) roundTime(steps int) (compute, comm float64) {
 	mx := math.Inf(-1)
 	for i := 0; i < e.m; i++ {
 		sum := 0.0
@@ -380,7 +402,21 @@ func (e *Engine) roundTime(steps int) float64 {
 			mx = v
 		}
 	}
-	return mx + e.delay.SampleDSchedule(e.r, e.lastReport.Bytes, e.latHops, e.bytesFactor)
+	comm = e.delay.SampleDScheduleInto(e.r, e.lastReport.Bytes, e.latHops, e.bytesFactor, e.linkTimes)
+	return mx, comm
+}
+
+// advanceClock charges the round's sampled compute and communication time to
+// the engine state shared by Run and RunParallel, keeping info.Time's
+// floating-point accumulation identical to the pre-timing-fields engine
+// (compute + comm summed first, then added).
+func advanceClock(info *RoundInfo, e *Engine, steps int) {
+	compute, comm := e.roundTime(steps)
+	info.Time += compute + comm
+	info.ComputeTime += compute
+	info.CommTime += comm
+	info.LastCommTime = comm
+	info.LinkTimes = e.linkTimes
 }
 
 // CommBytesPerRound returns the per-link payload charged for the most
@@ -555,7 +591,7 @@ func (e *Engine) Run(ctrl Controller, traceName string) *metrics.Trace {
 		// draws from the other's RNG stream, so the order swap leaves
 		// legacy traces untouched.
 		e.average()
-		info.Time += e.roundTime(steps)
+		advanceClock(&info, e, steps)
 		info.Round++
 		info.Epoch = e.workers[0].sampler.Epoch()
 		info.LastTau = tau

@@ -389,3 +389,58 @@ func (s *shrinkingTau) NextRound(info RoundInfo, _ func() float64) (int, float64
 	return s.tau, 0.1
 }
 func (s *shrinkingTau) Name() string { return "shrinking" }
+
+// timingProbe records the RoundInfo timing fields the engine reports.
+type timingProbe struct {
+	rounds    int
+	lastInfo  RoundInfo
+	linkTimes []float64
+}
+
+func (p *timingProbe) Name() string { return "timing-probe" }
+
+func (p *timingProbe) NextRound(info RoundInfo, _ func() float64) (int, float64) {
+	p.rounds++
+	p.lastInfo = info
+	if info.LinkTimes != nil {
+		p.linkTimes = append([]float64(nil), info.LinkTimes...)
+	}
+	return 5, 0.1
+}
+
+func TestRoundInfoTimingFields(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	s.dm.Bandwidth = 64
+	links := make([]delaymodel.Link, 4)
+	links[3].Bandwidth = 6.4
+	s.dm.Links = links
+	e := s.engine(t, baseCfg())
+	probe := &timingProbe{}
+	e.Run(probe, "timing")
+	info := probe.lastInfo
+	if info.CommTime <= 0 || info.ComputeTime <= 0 {
+		t.Fatalf("timing not populated: comm %v compute %v", info.CommTime, info.ComputeTime)
+	}
+	if got := info.CommTime + info.ComputeTime; math.Abs(got-info.Time) > 1e-9*info.Time {
+		t.Fatalf("comm %v + compute %v != time %v", info.CommTime, info.ComputeTime, info.Time)
+	}
+	if info.LastCommTime <= 0 || info.LastCommTime > info.CommTime {
+		t.Fatalf("LastCommTime %v out of range (cumulative %v)", info.LastCommTime, info.CommTime)
+	}
+	if len(probe.linkTimes) != 4 {
+		t.Fatalf("LinkTimes %v, want 4 entries", probe.linkTimes)
+	}
+	// Worker 3's 10x slower link must dominate the schedule.
+	for i := 0; i < 3; i++ {
+		if probe.linkTimes[3] <= probe.linkTimes[i] {
+			t.Fatalf("slow link not slowest: %v", probe.linkTimes)
+		}
+	}
+	// The parallel backend reports the same timing.
+	e2 := s.engine(t, baseCfg())
+	probe2 := &timingProbe{}
+	e2.RunParallel(probe2, "timing-parallel")
+	if probe2.lastInfo.CommTime != info.CommTime || probe2.lastInfo.ComputeTime != info.ComputeTime {
+		t.Fatalf("parallel timing diverged: %+v vs %+v", probe2.lastInfo, info)
+	}
+}

@@ -113,7 +113,7 @@ func (e *Engine) RunParallel(ctrl Controller, traceName string) *metrics.Trace {
 		bg.Wait()
 
 		info.Iter += steps
-		info.Time += e.roundTime(steps)
+		advanceClock(&info, e, steps)
 		info.Round++
 		info.Epoch = e.workers[0].sampler.Epoch()
 		info.LastTau = tau

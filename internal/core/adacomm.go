@@ -73,6 +73,16 @@ type Config struct {
 	// MaxTau caps the adapted period to guard rule (19)'s blow-ups
 	// (0 = uncapped).
 	MaxTau int
+	// LinkAware makes the controller heterogeneity-aware: the proposed tau
+	// is scaled by sqrt(alpha_obs) whenever the observed communication/
+	// computation ratio alpha_obs = mean(D)/mean(Y) (from RoundInfo's
+	// CommTime/ComputeTime, the measured cost that heterogeneous Links and
+	// finite bandwidth inflate) exceeds 1 — Theorem 2's tau* grows with the
+	// square root of the communication delay, so slow links hold tau higher.
+	// A growing link factor may raise tau once, mirroring the LR-decay
+	// raise. Off (the zero value), trajectories are bit-identical to the
+	// paper's static rule.
+	LinkAware bool
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +109,7 @@ type AdaComm struct {
 	nextBoundary float64
 	curTau       int
 	curLR        float64
+	linkFactor   float64 // sqrt(alpha_obs) applied at the last boundary (LinkAware)
 }
 
 // NewAdaComm builds the controller.
@@ -119,6 +130,16 @@ func (a *AdaComm) Name() string { return "AdaComm" }
 // Tau returns the communication period currently in effect.
 func (a *AdaComm) Tau() int { return a.curTau }
 
+// LinkFactor returns the link-aware tau scale applied at the most recent
+// interval boundary: sqrt(observed alpha), or 1 when LinkAware is off, the
+// cluster is compute-bound, or no boundary has passed yet.
+func (a *AdaComm) LinkFactor() float64 {
+	if !a.initialized {
+		return 1
+	}
+	return a.linkFactor
+}
+
 // NextRound implements cluster.Controller.
 func (a *AdaComm) NextRound(info cluster.RoundInfo, evalLoss func() float64) (int, float64) {
 	if !a.initialized {
@@ -131,6 +152,7 @@ func (a *AdaComm) NextRound(info cluster.RoundInfo, evalLoss func() float64) (in
 		a.eta0 = a.cfg.Schedule.LR(0)
 		a.curTau = a.cfg.Tau0
 		a.curLR = a.eta0
+		a.linkFactor = 1
 		a.nextBoundary = a.cfg.Interval
 		a.initialized = true
 		return a.curTau, a.curLR
@@ -177,7 +199,11 @@ func (a *AdaComm) adapt(info cluster.RoundInfo, evalLoss func() float64) {
 	case FullCoupling:
 		etaFactor = math.Pow(a.eta0/lr, 3)
 	}
-	proposed := int(math.Ceil(math.Sqrt(etaFactor*ratio) * float64(a.cfg.Tau0)))
+	factor := 1.0
+	if a.cfg.LinkAware {
+		factor = observedLinkFactor(info)
+	}
+	proposed := int(math.Ceil(math.Sqrt(etaFactor*ratio) * factor * float64(a.cfg.Tau0)))
 	if proposed < a.cfg.MinTau {
 		proposed = a.cfg.MinTau
 	}
@@ -193,10 +219,16 @@ func (a *AdaComm) adapt(info cluster.RoundInfo, evalLoss func() float64) {
 		if decayed < a.cfg.MinTau {
 			decayed = a.cfg.MinTau
 		}
-		// Rule (19)/(20) can legitimately *raise* tau right after an LR
-		// decay; allow that only when the LR actually changed this
-		// interval, otherwise enforce monotone decay.
-		if lr < a.curLR && proposed > a.curTau {
+		// Rules (19)/(20) can legitimately *raise* tau right after an LR
+		// decay, and the link-aware scaling can raise it when the measured
+		// communication cost grows. Allow a raise only on the interval the
+		// underlying signal actually changed — the LR decayed under a rule
+		// that couples eta into tau (under rule (17) eta never enters, so
+		// an LR decay must NOT undo the monotone decay), or the link
+		// factor grew — and enforce monotone decay otherwise.
+		lrRaise := a.cfg.Coupling != NoCoupling && lr < a.curLR
+		linkRaise := a.cfg.LinkAware && factor > a.linkFactor*(1+linkFactorTol)
+		if (lrRaise || linkRaise) && proposed > a.curTau {
 			a.curTau = proposed
 		} else {
 			a.curTau = decayed
@@ -206,6 +238,27 @@ func (a *AdaComm) adapt(info cluster.RoundInfo, evalLoss func() float64) {
 		a.curTau = a.cfg.MaxTau
 	}
 	a.curLR = lr
+	a.linkFactor = factor
+}
+
+// linkFactorTol is the relative growth of the link factor below which a
+// boundary does not count as "links got slower" (guards MC noise in the
+// observed timings from re-raising tau every interval).
+const linkFactorTol = 0.05
+
+// observedLinkFactor turns the engine-observed timing into the tau scale of
+// Config.LinkAware: sqrt of the measured communication/computation ratio
+// alpha_obs = (CommTime/Round) / (ComputeTime/Iter), floored at 1 so a
+// compute-bound cluster reproduces the paper's rule exactly.
+func observedLinkFactor(info cluster.RoundInfo) float64 {
+	if info.Round <= 0 || info.Iter <= 0 || info.ComputeTime <= 0 {
+		return 1
+	}
+	alpha := (info.CommTime / float64(info.Round)) / (info.ComputeTime / float64(info.Iter))
+	if !(alpha > 1) { // NaN-safe
+		return 1
+	}
+	return math.Sqrt(alpha)
 }
 
 // OracleTau is the theory-driven controller used for ablation: it evaluates

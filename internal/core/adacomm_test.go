@@ -300,3 +300,85 @@ func TestAdaCommEndToEnd(t *testing.T) {
 		t.Fatalf("AdaComm speedup %v <= 1 on a communication-bound problem", sp)
 	}
 }
+
+// Regression for the tau-raise condition in adapt(): under the basic rule
+// (17) eta never enters the tau update, so an LR decay must not undo the
+// eq-18 monotone decay. Before the fix, `lr < curLR` alone gated the raise
+// and a NoCoupling controller jumped tau back to the loss-only proposal on
+// the decay interval.
+func TestAdaCommNoCouplingDecayDoesNotRaiseTau(t *testing.T) {
+	sch := sgd.MultiStep{Eta: 0.2, Factor: 0.1, Milestones: []int{3}}
+	a := NewAdaComm(Config{Tau0: 20, Interval: 60, Gamma: 0.5, Coupling: NoCoupling, Schedule: sch})
+	a.NextRound(fakeInfo(0, 0), lossSeq(2.0))
+	// Two stalled boundaries: eq 18 decays 20 -> 10 -> 5.
+	a.NextRound(fakeInfo(61, 1), lossSeq(2.0))
+	tau, _ := a.NextRound(fakeInfo(121, 2), lossSeq(2.0))
+	if tau != 5 {
+		t.Fatalf("setup tau %d, want 5", tau)
+	}
+	// Milestone passes: lr decays, loss still stalled. Rule (17)'s proposal
+	// is 20 > 5, but without coupling the decay must continue: 5 -> 3.
+	tau, lr := a.NextRound(fakeInfo(181, 3), lossSeq(2.0))
+	if math.Abs(lr-0.02) > 1e-12 {
+		t.Fatalf("lr %v, want 0.02", lr)
+	}
+	if tau != 3 {
+		t.Fatalf("NoCoupling raise fired on LR decay: tau %d, want 3", tau)
+	}
+}
+
+// Same regression through the deferral path: the decay is withheld until tau
+// reaches 1; when it finally applies, a NoCoupling controller must keep
+// tau = 1 instead of firing the one-time raise with the loss-only proposal.
+func TestAdaCommNoCouplingDeferredDecayKeepsTauAtOne(t *testing.T) {
+	sch := sgd.MultiStep{Eta: 0.2, Factor: 0.1, Milestones: []int{2}}
+	a := NewAdaComm(Config{Tau0: 8, Interval: 10, Gamma: 0.5, Coupling: NoCoupling,
+		Schedule: sch, DeferLRDecay: true})
+	a.NextRound(fakeInfo(0, 0), lossSeq(1.0))
+	// Stalled loss, milestone already passed: tau 8 -> 4 -> 2 -> 1, decay
+	// deferred throughout.
+	var tau int
+	var lr float64
+	for i := 1; i <= 3; i++ {
+		tau, lr = a.NextRound(fakeInfo(float64(i*10+1), 2), lossSeq(1.0))
+	}
+	if tau != 1 || lr != 0.2 {
+		t.Fatalf("deferral setup: tau %d lr %v, want 1 / 0.2", tau, lr)
+	}
+	// The release boundary: the decay applies; tau must stay at 1.
+	tau, lr = a.NextRound(fakeInfo(41, 2), lossSeq(1.0))
+	if math.Abs(lr-0.02) > 1e-12 {
+		t.Fatalf("deferred decay never applied: lr %v", lr)
+	}
+	if tau != 1 {
+		t.Fatalf("NoCoupling raise fired on deferral release: tau %d, want 1", tau)
+	}
+}
+
+// Pin the intended rule-(20) interaction with deferral: the one-time raise
+// fires exactly on the boundary the deferred decay applies — not while the
+// decay is being withheld — and with the coupled magnitude
+// ceil(sqrt(eta0/eta * F/F0) * tau0).
+func TestAdaCommSqrtCouplingDeferredRaiseFiresOnRelease(t *testing.T) {
+	sch := sgd.MultiStep{Eta: 0.2, Factor: 0.1, Milestones: []int{2}}
+	a := NewAdaComm(Config{Tau0: 8, Interval: 10, Gamma: 0.5, Coupling: SqrtCoupling,
+		Schedule: sch, DeferLRDecay: true})
+	a.NextRound(fakeInfo(0, 0), lossSeq(1.0))
+	for i := 1; i <= 3; i++ {
+		tau, lr := a.NextRound(fakeInfo(float64(i*10+1), 2), lossSeq(1.0))
+		if lr != 0.2 {
+			t.Fatalf("decay applied while deferred: lr %v at boundary %d", lr, i)
+		}
+		if want := []int{4, 2, 1}[i-1]; tau != want {
+			t.Fatalf("boundary %d tau %d, want %d (no raise before release)", i, tau, want)
+		}
+	}
+	// Release: lr 0.2 -> 0.02, tau = ceil(sqrt(10 * 1) * 8) = 26.
+	tau, lr := a.NextRound(fakeInfo(41, 2), lossSeq(1.0))
+	if math.Abs(lr-0.02) > 1e-12 {
+		t.Fatalf("lr %v, want 0.02", lr)
+	}
+	if tau != 26 {
+		t.Fatalf("rule-20 raise on release: tau %d, want ceil(sqrt(10)*8) = 26", tau)
+	}
+}

@@ -42,7 +42,9 @@ func (cs CompressSchedule) withDefaults(tauGamma float64) CompressSchedule {
 
 // AdaCommCompress jointly adapts the communication period tau AND the
 // compression keep-ratio per wall-clock interval, implementing
-// cluster.RatioController. Tau follows the standard AdaComm rules; the
+// cluster.RatioController. Tau follows the standard AdaComm rules —
+// including Config.LinkAware, which the embedded controller consumes
+// unchanged, so the joint controller is heterogeneity-aware for free; the
 // ratio follows CompressSchedule on the same interval boundaries, sharing
 // the interval's single loss evaluation. Stateful; do not reuse across runs.
 type AdaCommCompress struct {

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/delaymodel"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sgd"
+)
+
+// laSetup builds the small logistic PASGD problem the link-aware tests and
+// goldens run on: 4 workers, unit compute and base latency, optionally a
+// finite shared bandwidth with worker 3's link 10x slower.
+func laSetup(t *testing.T, bandwidth float64, slowLink bool) (*cluster.Engine, func() *cluster.Engine) {
+	t.Helper()
+	r := rng.New(100)
+	train := data.GaussianBlobs(data.GaussianBlobsConfig{
+		Classes: 4, Dim: 10, N: 800, Separation: 4, Noise: 1.2,
+	}, r)
+	proto := nn.NewLogisticRegression(10, 4)
+	proto.InitParams(rng.New(7))
+	shards := data.ShardIID(train, 4, rng.New(8))
+	mk := func() *cluster.Engine {
+		dm := delaymodel.New(4, rng.Constant{Value: 1}, rng.Constant{Value: 1}, delaymodel.ConstantScaling{})
+		dm.Bandwidth = bandwidth
+		if slowLink {
+			links := make([]delaymodel.Link, 4)
+			links[3].Bandwidth = bandwidth / 10
+			dm.Links = links
+		}
+		cfg := cluster.Config{BatchSize: 16, MaxIters: 400, EvalEvery: 50, Seed: 42}
+		e, err := cluster.New(proto, shards, train, nil, dm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	return mk(), mk
+}
+
+func laHashBits(h *uint64, v float64) {
+	const prime64 = 1099511628211
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		*h ^= uint64(byte(u >> (8 * i)))
+		*h *= prime64
+	}
+}
+
+func laHashRun(e *cluster.Engine, tr *metrics.Trace) (params, trace uint64) {
+	params = 14695981039346656037
+	for _, v := range e.GlobalParams() {
+		laHashBits(&params, v)
+	}
+	trace = 14695981039346656037
+	for _, p := range tr.Points {
+		laHashBits(&trace, p.Time)
+		laHashBits(&trace, p.Loss)
+		laHashBits(&trace, float64(p.Tau))
+	}
+	return params, trace
+}
+
+func laAdaCfg(linkAware bool) Config {
+	return Config{
+		Tau0: 8, Interval: 60, Gamma: 0.5,
+		Schedule:  sgd.Const{Eta: 0.1},
+		LinkAware: linkAware,
+	}
+}
+
+// Golden hashes captured from the pre-link-aware tree (before RoundInfo grew
+// timing fields): with LinkAware off, AdaComm trajectories — homogeneous and
+// heterogeneous-links alike — must stay bit-identical.
+func TestAdaCommStaticGoldenBitIdentical(t *testing.T) {
+	cases := []struct {
+		name      string
+		bandwidth float64
+		slowLink  bool
+		params    uint64
+		trace     uint64
+		finalTime float64
+	}{
+		{"homog", 0, false, 0x5ff2eae8e10ada1d, 0xb806a18e6483683a, 732},
+		{"links", 64, true, 0xc7e9b15b2fab0e02, 0x1465a30aa738d481, 22072},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, _ := laSetup(t, tc.bandwidth, tc.slowLink)
+			tr := e.Run(NewAdaComm(laAdaCfg(false)), tc.name)
+			ph, th := laHashRun(e, tr)
+			if ph != tc.params {
+				t.Errorf("params hash %#016x, golden %#016x", ph, tc.params)
+			}
+			if th != tc.trace {
+				t.Errorf("trace hash %#016x, golden %#016x", th, tc.trace)
+			}
+			if got := tr.Last().Time; got != tc.finalTime {
+				t.Errorf("final time %v, golden %v", got, tc.finalTime)
+			}
+		})
+	}
+}
+
+// On a compute-bound homogeneous cluster (alpha = 1) the link factor floors
+// at 1, so turning LinkAware ON must also be bit-identical to the paper rule.
+func TestLinkAwareNoOpOnComputeBoundCluster(t *testing.T) {
+	e, mk := laSetup(t, 0, false)
+	trStatic := e.Run(NewAdaComm(laAdaCfg(false)), "static")
+	e2 := mk()
+	trAware := e2.Run(NewAdaComm(laAdaCfg(true)), "aware")
+	ps, ts := laHashRun(e, trStatic)
+	pa, ta := laHashRun(e2, trAware)
+	if ps != pa || ts != ta {
+		t.Fatalf("LinkAware perturbed a compute-bound run: %#x/%#x vs %#x/%#x", ps, ts, pa, ta)
+	}
+}
+
+func maxTauOf(tr *metrics.Trace) int {
+	mx := 0
+	for _, p := range tr.Points {
+		if p.Tau > mx {
+			mx = p.Tau
+		}
+	}
+	return mx
+}
+
+// A 10x-slower link must make the link-aware controller hold tau HIGHER than
+// both (a) the static rule on the same heterogeneous cluster and (b) the
+// link-aware controller on the homogeneous cluster. Deterministic seeds.
+func TestLinkAwareRaisesTauOnSlowLink(t *testing.T) {
+	eHetero, mkHetero := laSetup(t, 64, true)
+	trStatic := eHetero.Run(NewAdaComm(laAdaCfg(false)), "static-hetero")
+
+	e2 := mkHetero()
+	ada := NewAdaComm(laAdaCfg(true))
+	trAware := e2.Run(ada, "aware-hetero")
+
+	eHomog, _ := laSetup(t, 64, false)
+	adaHomog := NewAdaComm(laAdaCfg(true))
+	trHomog := eHomog.Run(adaHomog, "aware-homog")
+
+	if got, want := maxTauOf(trAware), maxTauOf(trStatic); got <= want {
+		t.Fatalf("link-aware max tau %d not above static %d on the slow-link cluster", got, want)
+	}
+	if got, want := maxTauOf(trAware), maxTauOf(trHomog); got <= want {
+		t.Fatalf("slow link did not raise tau: hetero max %d vs homogeneous max %d", got, want)
+	}
+	if f := ada.LinkFactor(); f <= adaHomog.LinkFactor() {
+		t.Fatalf("link factor %v not above homogeneous %v", f, adaHomog.LinkFactor())
+	}
+	// More local work per unit wall-clock: the link-aware run completes the
+	// same iteration budget in less simulated time.
+	if trAware.Last().Time >= trStatic.Last().Time {
+		t.Fatalf("link-aware run not faster: %v vs %v sim-s for the same iterations",
+			trAware.Last().Time, trStatic.Last().Time)
+	}
+}
+
+// The joint (tau, ratio) controller inherits LinkAware through its embedded
+// AdaComm: the slow link must raise its tau trajectory too.
+func TestAdaCommCompressLinkAware(t *testing.T) {
+	cfgOf := func(linkAware bool) Config {
+		c := laAdaCfg(linkAware)
+		return c
+	}
+	_, mk := laSetup(t, 64, true)
+	e1 := mk()
+	trStatic := e1.Run(NewAdaCommCompress(cfgOf(false), CompressSchedule{Ratio0: 0.5}), "joint-static")
+	e2 := mk()
+	trAware := e2.Run(NewAdaCommCompress(cfgOf(true), CompressSchedule{Ratio0: 0.5}), "joint-aware")
+	if got, want := maxTauOf(trAware), maxTauOf(trStatic); got <= want {
+		t.Fatalf("joint controller ignored LinkAware: max tau %d vs %d", got, want)
+	}
+}

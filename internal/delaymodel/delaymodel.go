@@ -120,10 +120,26 @@ type Model struct {
 	Links []Link
 }
 
-// CheckLinks validates the per-worker link table.
+// CheckLinks validates the per-worker link table: the length must match the
+// worker count, and every latency and bandwidth must be finite and
+// non-negative — a negative or NaN entry would silently produce degenerate
+// (negative or NaN) transfer times that poison every round's delay. Zero
+// stays legal: zero latency is a real value and zero bandwidth means
+// "inherit Model.Bandwidth" by construction.
 func (dm *Model) CheckLinks() error {
-	if dm.Links != nil && len(dm.Links) != dm.M {
+	if dm.Links == nil {
+		return nil
+	}
+	if len(dm.Links) != dm.M {
 		return fmt.Errorf("delaymodel: %d links for %d workers", len(dm.Links), dm.M)
+	}
+	for i, l := range dm.Links {
+		if math.IsNaN(l.Latency) || math.IsInf(l.Latency, 0) || l.Latency < 0 {
+			return fmt.Errorf("delaymodel: worker %d link latency %v (want finite >= 0)", i, l.Latency)
+		}
+		if math.IsNaN(l.Bandwidth) || math.IsInf(l.Bandwidth, 0) || l.Bandwidth < 0 {
+			return fmt.Errorf("delaymodel: worker %d link bandwidth %v (want finite >= 0; 0 inherits the shared bandwidth)", i, l.Bandwidth)
+		}
 	}
 	return nil
 }
@@ -196,10 +212,28 @@ func (dm *Model) AlphaBytes(bytes int) float64 {
 // priced on its own link (falling back to the shared Bandwidth when the
 // link's is 0) and the slowest link gates the round.
 func (dm *Model) SampleDSchedule(r *rng.Rand, bytesPerWorker []int, latHops, bytesFactor float64) float64 {
+	return dm.SampleDScheduleInto(r, bytesPerWorker, latHops, bytesFactor, nil)
+}
+
+// SampleDScheduleInto is SampleDSchedule that additionally records each
+// worker's own transfer time into times (when non-nil; len(times) must be at
+// least len(bytesPerWorker)): the worker's link latency times latHops plus
+// its wire bytes times bytesFactor over its link's effective bandwidth,
+// BEFORE the model's Scale factor and the shared D0 draw. This per-worker
+// schedule is the signal link-aware controllers consume (which link gates the
+// round, and by how much). Total value and RNG consumption are exactly
+// SampleDSchedule's, so recording times never perturbs a trace.
+func (dm *Model) SampleDScheduleInto(r *rng.Rand, bytesPerWorker []int, latHops, bytesFactor float64, times []float64) float64 {
 	d := dm.D0.Sample(r) * latHops
 	if dm.Links == nil {
 		mx := 0
-		for _, b := range bytesPerWorker {
+		for i, b := range bytesPerWorker {
+			if times != nil {
+				times[i] = 0
+				if dm.Bandwidth > 0 && b > 0 {
+					times[i] = float64(b) * bytesFactor / dm.Bandwidth
+				}
+			}
 			if b > mx {
 				mx = b
 			}
@@ -220,6 +254,9 @@ func (dm *Model) SampleDSchedule(r *rng.Rand, bytesPerWorker []int, latHops, byt
 		if bw > 0 && b > 0 {
 			t += float64(b) * bytesFactor / bw
 		}
+		if times != nil {
+			times[i] = t
+		}
 		if t > slow {
 			slow = t
 		}
@@ -229,8 +266,13 @@ func (dm *Model) SampleDSchedule(r *rng.Rand, bytesPerWorker []int, latHops, byt
 
 // ParseLinks parses the per-worker link flag syntax: a comma-separated list
 // of "latency:bandwidth" pairs, one per worker (e.g. "0:4096,0:4096,0:409.6"
-// gives the last worker a 10x slower link). Either part may be empty for its
-// zero value ("0:" = ":0" = ":" = transparent link).
+// gives the last worker a 10x slower link). Either part may be EMPTY for its
+// zero value ("0:" = ":" = transparent link; an empty bandwidth inherits the
+// model's shared one). An explicit bandwidth of 0 is rejected — written out,
+// "0 bytes per second" reads as a dead link, but the zero value actually
+// means "inherit", which silently becomes an INFINITE link on a model with
+// no shared bandwidth; leave the part empty to inherit on purpose. Negative
+// and non-finite values are rejected for both parts.
 func ParseLinks(s string, m int) ([]Link, error) {
 	if s == "" {
 		return nil, nil
@@ -250,14 +292,20 @@ func ParseLinks(s string, m int) ([]Link, error) {
 			if links[i].Latency, err = strconv.ParseFloat(lat, 64); err != nil {
 				return nil, fmt.Errorf("delaymodel: bad latency in %q: %v", p, err)
 			}
+			if math.IsNaN(links[i].Latency) || math.IsInf(links[i].Latency, 0) || links[i].Latency < 0 {
+				return nil, fmt.Errorf("delaymodel: link %q latency %v (want finite >= 0)", p, links[i].Latency)
+			}
 		}
 		if bw != "" {
 			if links[i].Bandwidth, err = strconv.ParseFloat(bw, 64); err != nil {
 				return nil, fmt.Errorf("delaymodel: bad bandwidth in %q: %v", p, err)
 			}
-		}
-		if links[i].Latency < 0 || links[i].Bandwidth < 0 {
-			return nil, fmt.Errorf("delaymodel: negative link %q", p)
+			if math.IsNaN(links[i].Bandwidth) || math.IsInf(links[i].Bandwidth, 0) || links[i].Bandwidth < 0 {
+				return nil, fmt.Errorf("delaymodel: link %q bandwidth %v (want finite > 0)", p, links[i].Bandwidth)
+			}
+			if links[i].Bandwidth == 0 {
+				return nil, fmt.Errorf("delaymodel: link %q has explicit zero bandwidth; leave the part empty (%q) to inherit the shared bandwidth", p, lat+":")
+			}
 		}
 	}
 	return links, nil

@@ -437,3 +437,91 @@ func TestMeasureBreakdownBytes(t *testing.T) {
 		t.Fatalf("size-free breakdown charged %v, want 10", free.Comm)
 	}
 }
+
+func TestSampleDScheduleIntoMatchesSampleDSchedule(t *testing.T) {
+	// Recording per-worker times must change neither the total nor the RNG
+	// consumption, on both the homogeneous and the per-link path.
+	bytes := []int{100, 640, 10, 5}
+	for _, links := range [][]Link{nil, {{}, {Bandwidth: 10}, {Latency: 5}, {}}} {
+		dm := New(4, rng.Constant{Value: 1}, rng.Exponential{MeanVal: 2}, TreeScaling{})
+		dm.Bandwidth = 100
+		dm.Links = links
+		r1, r2 := rng.New(3), rng.New(3)
+		times := make([]float64, 4)
+		for i := 0; i < 50; i++ {
+			a := dm.SampleDSchedule(r1, bytes, 2, 1.5)
+			b := dm.SampleDScheduleInto(r2, bytes, 2, 1.5, times)
+			if a != b {
+				t.Fatalf("links=%v draw %d: into %v != plain %v", links, i, b, a)
+			}
+		}
+	}
+}
+
+func TestSampleDScheduleIntoPerWorkerTimes(t *testing.T) {
+	dm := New(3, rng.Constant{Value: 1}, rng.Constant{Value: 1}, ConstantScaling{})
+	dm.Bandwidth = 100
+	dm.Links = []Link{{}, {Bandwidth: 10}, {Latency: 5}}
+	times := make([]float64, 3)
+	dm.SampleDScheduleInto(rng.New(1), []int{100, 100, 100}, 1, 1, times)
+	want := []float64{1, 10, 6}
+	for i := range want {
+		if math.Abs(times[i]-want[i]) > 1e-12 {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+	// Homogeneous path: every worker priced on the shared bandwidth.
+	dm.Links = nil
+	dm.SampleDScheduleInto(rng.New(1), []int{100, 200, 50}, 1, 2, times)
+	want = []float64{2, 4, 1}
+	for i := range want {
+		if math.Abs(times[i]-want[i]) > 1e-12 {
+			t.Fatalf("homogeneous times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestCheckLinksRejectsDegenerateEntries(t *testing.T) {
+	for _, bad := range [][]Link{
+		{{Latency: -1}, {}, {}, {}},
+		{{}, {Bandwidth: -5}, {}, {}},
+		{{Latency: math.NaN()}, {}, {}, {}},
+		{{}, {}, {Bandwidth: math.Inf(1)}, {}},
+	} {
+		dm := New(4, rng.Constant{Value: 1}, rng.Constant{Value: 1}, nil)
+		dm.Links = bad
+		if err := dm.CheckLinks(); err == nil {
+			t.Fatalf("accepted degenerate links %+v", bad)
+		}
+	}
+	// Zero stays legal: zero latency is real, zero bandwidth inherits.
+	dm := New(2, rng.Constant{Value: 1}, rng.Constant{Value: 1}, nil)
+	dm.Links = []Link{{}, {Latency: 0, Bandwidth: 50}}
+	if err := dm.CheckLinks(); err != nil {
+		t.Fatalf("rejected valid links: %v", err)
+	}
+}
+
+func TestParseLinksRejectsDegenerateEntries(t *testing.T) {
+	for _, bad := range []string{
+		"0:0,:,:,:",    // explicit zero bandwidth (use empty to inherit)
+		"nan:1,:,:,:",  // NaN latency parses but is degenerate
+		"1:nan,:,:,:",  // NaN bandwidth
+		"inf:1,:,:,:",  // infinite latency
+		"1:inf,:,:,:",  // infinite bandwidth
+		"1:-2,:,:,:",   // negative bandwidth
+		"-0.5:1,:,:,:", // negative latency
+	} {
+		if _, err := ParseLinks(bad, 4); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	// Empty bandwidth still inherits; explicit zero latency still legal.
+	links, err := ParseLinks("0:,0:100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if links[0] != (Link{}) || links[1] != (Link{Bandwidth: 100}) {
+		t.Fatalf("parsed %+v", links)
+	}
+}

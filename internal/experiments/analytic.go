@@ -64,21 +64,43 @@ type Fig5Result struct {
 	SyncMean float64
 	PAvgMean float64
 	Trials   int
+	// Bytes/Bandwidth record the broadcast payload and per-link rate the
+	// samples were priced with (both 0 for the paper's size-free model).
+	Bytes     int
+	Bandwidth float64
 }
 
-// Fig5 Monte-Carlo samples both distributions with the paper's parameters.
+// Fig5 Monte-Carlo samples both distributions with the paper's parameters
+// (the size-free broadcast; identical to Fig5Bytes with a zero payload).
 func Fig5(trials int, seed uint64) Fig5Result {
+	return Fig5Bytes(trials, seed, 0, 0)
+}
+
+// Fig5Bytes is Fig 5 on a bandwidth-constrained link: every broadcast is
+// charged the size-aware cost of a `bytes` payload against the given
+// per-link bandwidth (delaymodel.SampleSyncIterationBytes /
+// SampleRoundBytes). bytes = 0 reproduces the size-free figure bit for bit —
+// same values, same draws.
+func Fig5Bytes(trials int, seed uint64, bytes int, bandwidth float64) Fig5Result {
 	dm := delaymodel.New(16, rng.Exponential{MeanVal: 1}, rng.Constant{Value: 1},
 		delaymodel.ConstantScaling{})
+	dm.Bandwidth = bandwidth
 	r := rng.New(seed)
+	// Widen the histogram range to keep the heavier size-aware tail visible.
+	hi := 8.0
+	if bandwidth > 0 && bytes > 0 {
+		hi += float64(bytes) / bandwidth
+	}
 	res := Fig5Result{
-		SyncHist: rng.NewHistogram(0, 8, 40),
-		PAvgHist: rng.NewHistogram(0, 8, 40),
-		Trials:   trials,
+		SyncHist:  rng.NewHistogram(0, hi, 40),
+		PAvgHist:  rng.NewHistogram(0, hi, 40),
+		Trials:    trials,
+		Bytes:     bytes,
+		Bandwidth: bandwidth,
 	}
 	for t := 0; t < trials; t++ {
-		s := dm.SampleSyncIteration(r)
-		p := dm.SamplePerIteration(10, r)
+		s := dm.SampleSyncIterationBytes(r, bytes)
+		p := dm.SamplePerIterationBytes(10, r, bytes)
 		res.SyncHist.Add(s)
 		res.PAvgHist.Add(p)
 		res.SyncMean += s
@@ -92,6 +114,10 @@ func Fig5(trials int, seed uint64) Fig5Result {
 // PrintFig5 renders the distributions as an ASCII density table.
 func PrintFig5(w io.Writer, res Fig5Result) {
 	fmt.Fprintln(w, "== Fig 5: runtime/iteration distribution (m=16, y=1, D=1) ==")
+	if res.Bytes > 0 && res.Bandwidth > 0 {
+		fmt.Fprintf(w, "broadcast payload:   %d bytes @ %g B/s (+%.3f s/transfer)\n",
+			res.Bytes, res.Bandwidth, float64(res.Bytes)/res.Bandwidth)
+	}
 	fmt.Fprintf(w, "mean sync SGD:       %.4f\n", res.SyncMean)
 	fmt.Fprintf(w, "mean PASGD(tau=10):  %.4f\n", res.PAvgMean)
 	fmt.Fprintf(w, "mean ratio:          %.2fx less\n", res.SyncMean/res.PAvgMean)
@@ -118,6 +144,18 @@ type Fig6Curve struct {
 // Y=1, D=1).
 func Fig6Constants() bound.Constants {
 	return bound.Constants{F1: 1, Finf: 0, Eta: 0.08, L: 1, Sigma2: 1, M: 16, Y: 1, D: 1}
+}
+
+// SizeAwareConstants charges the bound constants' broadcast delay D the
+// size-aware transfer term bytes/bandwidth — the theory-side counterpart of
+// the *Bytes Monte-Carlo drivers, used to regenerate the Fig 6/7 bound
+// curves for a bandwidth-constrained link. A zero payload or bandwidth
+// returns c unchanged.
+func SizeAwareConstants(c bound.Constants, bytes int, bandwidth float64) bound.Constants {
+	if bytes > 0 && bandwidth > 0 {
+		c.D += float64(bytes) / bandwidth
+	}
+	return c
 }
 
 // Fig6 samples the bound curves for tau=1 (sync SGD) and tau=10.
@@ -200,13 +238,29 @@ func PrintFig7(w io.Writer, res Fig7Result) {
 // ---------------------------------------------------------------------------
 
 // Fig8 measures the compute/communication breakdown of 100 iterations for
-// both architecture profiles at tau=1 and tau=10 with m workers.
+// both architecture profiles at tau=1 and tau=10 with m workers (size-free
+// broadcasts; identical to Fig8Bytes with a zero payload).
 func Fig8(m int, seed uint64) []delaymodel.Breakdown {
+	return Fig8Bytes(m, seed, 0, 0)
+}
+
+// Fig8Bytes is Fig 8 on bandwidth-constrained links: each profile is
+// constrained to the given per-link bandwidth and every broadcast charged a
+// `bytes` payload (delaymodel.MeasureBreakdownBytes), which is where large
+// tau's amortization of the transfer term shows up in the comm bars.
+// bytes = 0 with bandwidth = 0 reproduces the size-free figure bit for bit.
+func Fig8Bytes(m int, seed uint64, bytes int, bandwidth float64) []delaymodel.Breakdown {
 	r := rng.New(seed)
 	var rows []delaymodel.Breakdown
 	for _, p := range []delaymodel.Profile{delaymodel.ResNet50Profile(), delaymodel.VGG16Profile()} {
+		// Constrain (and relabel) only when there is a payload to price: with
+		// bytes = 0 the sampler ignores bandwidth, and a "@B/s" label over
+		// size-free numbers would misrepresent the run.
+		if bandwidth > 0 && bytes > 0 {
+			p = p.Constrained(bandwidth)
+		}
 		for _, tau := range []int{1, 10} {
-			rows = append(rows, delaymodel.MeasureBreakdown(p, m, tau, 100, r))
+			rows = append(rows, delaymodel.MeasureBreakdownBytes(p, m, tau, 100, r, bytes))
 		}
 	}
 	return rows

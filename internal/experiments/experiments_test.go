@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"io"
 	"math"
 	"strings"
@@ -418,5 +419,145 @@ func TestHeterogeneousStragglerAblationQuick(t *testing.T) {
 	PrintHeterogeneousAblation(&buf, spec, rows)
 	if !strings.Contains(buf.String(), "adacomm") {
 		t.Fatal("print output missing methods")
+	}
+}
+
+// The PR's acceptance criterion: on the 10x-straggler link profile the
+// link-aware AdaComm reaches the shared target loss in measurably less
+// simulated wall-clock than the paper's static rule. Deterministic seeds.
+func TestLinkAwareAblationBeatsStaticAdaComm(t *testing.T) {
+	target, rows := LinkAwareAblation(DefaultHeteroSpec(ScaleQuick))
+	if target <= 0 {
+		t.Fatalf("degenerate target %v", target)
+	}
+	byName := map[string]LinkAwareRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	static, aware := byName["adacomm"], byName["adacomm+link"]
+	if static.Method == "" || aware.Method == "" {
+		t.Fatalf("missing methods in %v", rows)
+	}
+	if math.IsNaN(static.TimeToTarget) || math.IsNaN(aware.TimeToTarget) {
+		t.Fatalf("time-to-target undefined: static %v aware %v", static.TimeToTarget, aware.TimeToTarget)
+	}
+	if aware.TimeToTarget >= static.TimeToTarget {
+		t.Fatalf("link-aware AdaComm not faster to target: %v vs %v sim-s",
+			aware.TimeToTarget, static.TimeToTarget)
+	}
+	if aware.Iters <= static.Iters {
+		t.Fatalf("link-aware AdaComm did not buy iterations: %d vs %d", aware.Iters, static.Iters)
+	}
+	if aware.MinLoss > static.MinLoss {
+		t.Fatalf("link-aware AdaComm traded away loss: %v vs %v", aware.MinLoss, static.MinLoss)
+	}
+}
+
+// And the AdaSync-K half: the link-aware cap keeps the slow link from gating
+// updates, reaching the target sooner within the same budget.
+func TestLinkAwareAblationBeatsStaticAdaSync(t *testing.T) {
+	target, rows := LinkAwareAdaSyncAblation(ScaleQuick)
+	if target <= 0 {
+		t.Fatalf("degenerate target %v", target)
+	}
+	byName := map[string]LinkAwareRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	static, aware := byName["adasync"], byName["adasync+link"]
+	if static.Method == "" || aware.Method == "" {
+		t.Fatalf("missing methods in %v", rows)
+	}
+	if math.IsNaN(static.TimeToTarget) || math.IsNaN(aware.TimeToTarget) {
+		t.Fatalf("time-to-target undefined: static %v aware %v", static.TimeToTarget, aware.TimeToTarget)
+	}
+	if aware.TimeToTarget >= static.TimeToTarget {
+		t.Fatalf("link-aware AdaSync not faster to target: %v vs %v sim-s",
+			aware.TimeToTarget, static.TimeToTarget)
+	}
+	if aware.Iters <= static.Iters {
+		t.Fatalf("link-aware AdaSync did not buy updates: %d vs %d", aware.Iters, static.Iters)
+	}
+}
+
+func TestPrintLinkAware(t *testing.T) {
+	rows := []LinkAwareRow{
+		{Method: "adacomm", FinalLoss: 0.62, MinLoss: 0.62, TimeToTarget: 290, Iters: 45, FinalTau: 1},
+		{Method: "adacomm+link", FinalLoss: 0.55, MinLoss: 0.55, TimeToTarget: 99, Iters: 144, FinalTau: 8},
+	}
+	var buf bytes.Buffer
+	PrintLinkAware(&buf, "link-aware ablation", 0.97, rows)
+	out := buf.String()
+	if !strings.Contains(out, "adacomm+link") || !strings.Contains(out, "t(target)") {
+		t.Fatalf("print output missing columns:\n%s", out)
+	}
+}
+
+// The size-aware Fig 5/8 drivers must reproduce the size-free figures bit
+// for bit at a zero payload, and charge the transfer term otherwise.
+func TestFig5BytesZeroPayloadBitIdentical(t *testing.T) {
+	free := Fig5(2000, 1)
+	zero := Fig5Bytes(2000, 1, 0, 4e6)
+	if free.SyncMean != zero.SyncMean || free.PAvgMean != zero.PAvgMean {
+		t.Fatalf("zero-payload means diverged: %v/%v vs %v/%v",
+			free.SyncMean, free.PAvgMean, zero.SyncMean, zero.PAvgMean)
+	}
+	for i := range free.SyncHist.Counts {
+		if free.SyncHist.Counts[i] != zero.SyncHist.Counts[i] ||
+			free.PAvgHist.Counts[i] != zero.PAvgHist.Counts[i] {
+			t.Fatalf("zero-payload histograms diverged at bin %d", i)
+		}
+	}
+	sized := Fig5Bytes(2000, 1, 800000, 4e6)
+	if sized.SyncMean <= free.SyncMean+0.19 {
+		t.Fatalf("sized sync mean %v, want ~%v + 0.2", sized.SyncMean, free.SyncMean)
+	}
+	// PASGD amortizes the transfer over tau=10 iterations.
+	if sized.PAvgMean <= free.PAvgMean || sized.PAvgMean >= free.PAvgMean+0.19 {
+		t.Fatalf("sized PASGD mean %v, want in (%v, %v)", sized.PAvgMean, free.PAvgMean, free.PAvgMean+0.19)
+	}
+}
+
+func TestFig8BytesZeroPayloadBitIdentical(t *testing.T) {
+	free := Fig8(4, 2)
+	zero := Fig8Bytes(4, 2, 0, 0)
+	for i := range free {
+		if free[i] != zero[i] {
+			t.Fatalf("zero-payload breakdown %d diverged: %+v vs %+v", i, zero[i], free[i])
+		}
+	}
+	sized := Fig8Bytes(4, 2, 800000, 4e6)
+	for i := range sized {
+		if sized[i].Comm <= free[i].Comm {
+			t.Fatalf("constrained breakdown %d comm %v not above free %v",
+				i, sized[i].Comm, free[i].Comm)
+		}
+	}
+}
+
+func TestSizeAwareConstants(t *testing.T) {
+	c := Fig6Constants()
+	if got := SizeAwareConstants(c, 0, 4e6); got != c {
+		t.Fatalf("zero payload changed constants: %+v", got)
+	}
+	if got := SizeAwareConstants(c, 800000, 0); got != c {
+		t.Fatalf("zero bandwidth changed constants: %+v", got)
+	}
+	got := SizeAwareConstants(c, 800000, 4e6)
+	if got.D != c.D+0.2 {
+		t.Fatalf("D = %v, want %v", got.D, c.D+0.2)
+	}
+}
+
+// -bandwidth without a payload must not relabel the profiles: with bytes = 0
+// the sampler ignores bandwidth, so the rows must stay the size-free ones,
+// names included.
+func TestFig8BytesBandwidthAloneIsSizeFree(t *testing.T) {
+	free := Fig8(4, 2)
+	got := Fig8Bytes(4, 2, 0, 4e6)
+	for i := range free {
+		if got[i] != free[i] {
+			t.Fatalf("bandwidth-only breakdown %d diverged: %+v vs %+v", i, got[i], free[i])
+		}
 	}
 }

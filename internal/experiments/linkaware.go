@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/delaymodel"
+	"repro/internal/metrics"
+	"repro/internal/paramserver"
+	"repro/internal/rng"
+	"repro/internal/sgd"
+)
+
+// The link-aware ablation quantifies the tentpole claim: on a cluster whose
+// straggler is slow in bytes per second, controllers that consume the
+// observed per-round timing (cluster.RoundInfo / paramserver.RoundInfo)
+// dominate the paper's static loss-ratio rules. AdaComm's LinkAware mode
+// holds tau higher by sqrt(observed alpha), amortizing the slow link;
+// AdaSync's LinkAware mode stops growing K past the fast-link count, so the
+// slow link never gates an update (Kas Hanna et al. 2022).
+
+// LinkAwareRow is one method's outcome on the constrained cluster.
+type LinkAwareRow struct {
+	Method       string
+	FinalLoss    float64
+	MinLoss      float64
+	TimeToTarget float64 // simulated seconds to reach the shared target loss
+	Iters        int     // local iterations (or server updates) in the budget
+	FinalTau     int     // final tau (or K)
+}
+
+// linkAwareRows converts traces into rows against a shared target: the
+// loosest minimum loss across methods, relaxed 1%, so every method reaches
+// it and time-to-target is always defined.
+func linkAwareRows(traces []*metrics.Trace) (float64, []LinkAwareRow) {
+	worst := 0.0
+	for _, tr := range traces {
+		if l := tr.MinLoss(); l > worst {
+			worst = l
+		}
+	}
+	target := worst * 1.01
+	rows := make([]LinkAwareRow, 0, len(traces))
+	for _, tr := range traces {
+		rows = append(rows, LinkAwareRow{
+			Method:       tr.Name,
+			FinalLoss:    tr.FinalLoss(),
+			MinLoss:      tr.MinLoss(),
+			TimeToTarget: tr.TimeToLoss(target),
+			Iters:        tr.Last().Iter,
+			FinalTau:     tr.Last().Tau,
+		})
+	}
+	return target, rows
+}
+
+// LinkAwareAblation runs the static-rule AdaComm against the link-aware mode
+// (plus the fixed-tau endpoints for context) on the 10x bandwidth-straggler
+// profile of HeterogeneousStragglerAblation, under one simulated-time
+// budget. The returned target is the shared loss level the time-to-target
+// column measures.
+func LinkAwareAblation(spec HeteroSpec) (float64, []LinkAwareRow) {
+	w := BuildWorkload(ArchLogistic, 4, spec.Workers, spec.Scale, spec.Seed)
+	w.Delay.Bandwidth = spec.Bandwidth
+	links := make([]delaymodel.Link, spec.Workers)
+	links[spec.Workers-1].Bandwidth = spec.Bandwidth / spec.SlowFactor
+	w.Delay.Links = links
+
+	// A shorter budget than the straggler ablation's, split into many
+	// intervals: the controllers must differentiate WHILE the loss is still
+	// falling — with one long first interval both run tau0 until the
+	// interesting phase is over and only the noise floor separates them.
+	budget := spec.TimeBudget / 3
+	cfg := cluster.Config{
+		BatchSize:  spec.BatchSize,
+		MaxTime:    budget,
+		EvalEvery:  50,
+		EvalSubset: 400,
+		Seed:       spec.Seed + 1,
+	}
+	sched := sgd.Const{Eta: spec.LR}
+	adaCfg := func(linkAware bool) core.Config {
+		return core.Config{
+			Tau0: spec.Tau0, Interval: budget / 12, Gamma: 0.5,
+			Schedule: sched, LinkAware: linkAware,
+		}
+	}
+	var traces []*metrics.Trace
+	for _, rc := range []struct {
+		name string
+		ctrl cluster.Controller
+	}{
+		{"tau=1", cluster.FixedTau{Tau: 1, Schedule: sched}},
+		{"adacomm", core.NewAdaComm(adaCfg(false))},
+		{"adacomm+link", core.NewAdaComm(adaCfg(true))},
+	} {
+		e := w.Engine(cfg)
+		traces = append(traces, e.Run(rc.ctrl, rc.name))
+	}
+	return linkAwareRows(traces)
+}
+
+// LinkAwareAdaSyncAblation is the parameter-server half: K-async SGD where
+// worker m-1's uplink is 10x slower than the shared bandwidth, comparing the
+// static AdaSync growth rule against the link-aware cap under the same
+// simulated-time budget.
+func LinkAwareAdaSyncAblation(scale Scale) (float64, []LinkAwareRow) {
+	m := 8
+	w := BuildWorkload(ArchLogistic, 4, m, scale, 501)
+	budget := 600.0
+	if scale == ScaleQuick {
+		budget = 250
+	}
+	bandwidth := 256.0
+	links := make([]delaymodel.Link, m)
+	links[m-1].Bandwidth = bandwidth / 10
+	cfg := paramserver.Config{
+		Mode:       paramserver.KAsync,
+		BatchSize:  8,
+		ComputeY:   rng.Exponential{MeanVal: 1},
+		PushDelay:  rng.Constant{Value: 0.1},
+		Bandwidth:  bandwidth,
+		Links:      links,
+		MaxTime:    budget,
+		EvalEvery:  10,
+		EvalSubset: 400,
+		Seed:       502,
+	}
+	shards := data.ShardIID(w.Train, m, rng.New(503))
+
+	// A short interval grows the static K to m early in the run, so the
+	// slow link starts gating updates while the loss is still falling and
+	// the two rules separate on the time axis.
+	adaCfg := func(linkAware bool) paramserver.AdaSyncConfig {
+		return paramserver.AdaSyncConfig{
+			K0: 1, M: m, Interval: budget / 40, LR: 0.1, LinkAware: linkAware,
+		}
+	}
+	var traces []*metrics.Trace
+	for _, rc := range []struct {
+		name string
+		ctrl paramserver.Controller
+	}{
+		{"adasync", paramserver.NewAdaSync(adaCfg(false))},
+		{"adasync+link", paramserver.NewAdaSync(adaCfg(true))},
+	} {
+		s, err := paramserver.New(w.Proto, shards, w.Train, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		tr, _ := s.Run(rc.ctrl, rc.name)
+		traces = append(traces, tr)
+	}
+	return linkAwareRows(traces)
+}
+
+// PrintLinkAware renders either ablation's rows.
+func PrintLinkAware(w io.Writer, header string, target float64, rows []LinkAwareRow) {
+	fmt.Fprintf(w, "== %s (time to loss %.5f) ==\n", header, target)
+	fmt.Fprintf(w, "%-14s %12s %12s %11s %8s %9s\n",
+		"method", "final loss", "min loss", "t(target)", "iters", "final tau")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12.5f %12.5f %11.1f %8d %9d\n",
+			r.Method, r.FinalLoss, r.MinLoss, r.TimeToTarget, r.Iters, r.FinalTau)
+	}
+}

@@ -13,6 +13,15 @@ type AdaSyncConfig struct {
 	// Growth is the multiplicative bump applied when the loss-ratio rule
 	// stalls (the mirror image of AdaComm's gamma decay); default 2.
 	Growth float64
+	// LinkAware caps K at the number of links within SlowCutoff of the
+	// fastest observed link (RoundInfo.LinkTimes) — the Kas Hanna et al.
+	// 2022 direction of waiting only for the K fastest workers, so one
+	// straggling link never gates every update. Off (the zero value) the
+	// controller is exactly the loss-ratio rule.
+	LinkAware bool
+	// SlowCutoff is the multiple of the fastest link's transfer time beyond
+	// which a link is considered too slow to wait for (default 3).
+	SlowCutoff float64
 }
 
 // AdaSync adapts the server's K over wall-clock intervals: the AdaComm
@@ -21,7 +30,10 @@ type AdaSyncConfig struct {
 // AdaSync GROWS K as sqrt(F_0/F_l), capped at m (fully synchronous). Early
 // training tolerates staleness and buys update throughput; late training
 // needs low-variance updates to reach a low floor — the same error-runtime
-// win-win, on the asynchrony axis.
+// win-win, on the asynchrony axis. With Config.LinkAware the grown K is
+// additionally capped at the count of fast links, so on a heterogeneous
+// cluster "fully synchronous" converges to "synchronous over the links worth
+// waiting for".
 type AdaSync struct {
 	cfg AdaSyncConfig
 
@@ -29,6 +41,7 @@ type AdaSync struct {
 	f0           float64
 	nextBoundary float64
 	curK         int
+	lastK        int // K actually returned (after the link cap)
 }
 
 // NewAdaSync builds the controller.
@@ -42,17 +55,51 @@ func NewAdaSync(cfg AdaSyncConfig) *AdaSync {
 	if cfg.Growth <= 1 {
 		cfg.Growth = 2
 	}
+	if cfg.SlowCutoff <= 1 {
+		cfg.SlowCutoff = 3
+	}
 	return &AdaSync{cfg: cfg}
 }
 
 // Name implements Controller.
 func (a *AdaSync) Name() string { return "AdaSync" }
 
-// K returns the current aggregation size.
-func (a *AdaSync) K() int { return a.curK }
+// K returns the aggregation size most recently handed to the server
+// (loss-rule K after the link cap, once running).
+func (a *AdaSync) K() int {
+	if a.lastK > 0 {
+		return a.lastK
+	}
+	return a.curK
+}
+
+// FastLinkCount returns how many of the given per-worker transfer times are
+// within cutoff of the fastest — the links a link-aware server is willing to
+// wait for. A nil/empty slice (no observations yet) counts every worker.
+func FastLinkCount(times []float64, m int, cutoff float64) int {
+	if len(times) == 0 {
+		return m
+	}
+	fastest := math.Inf(1)
+	for _, t := range times {
+		if t < fastest {
+			fastest = t
+		}
+	}
+	n := 0
+	for _, t := range times {
+		if t <= fastest*cutoff {
+			n++
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // Next implements Controller.
-func (a *AdaSync) Next(now float64, _ int, evalLoss func() float64) (int, float64) {
+func (a *AdaSync) Next(info RoundInfo, evalLoss func() float64) (int, float64) {
 	if !a.initialized {
 		a.f0 = evalLoss()
 		if a.f0 <= 0 {
@@ -61,9 +108,10 @@ func (a *AdaSync) Next(now float64, _ int, evalLoss func() float64) (int, float6
 		a.curK = a.cfg.K0
 		a.nextBoundary = a.cfg.Interval
 		a.initialized = true
-		return a.curK, a.cfg.LR
+		a.lastK = a.capped(a.curK, info)
+		return a.lastK, a.cfg.LR
 	}
-	if now >= a.nextBoundary {
+	if info.Time >= a.nextBoundary {
 		f := evalLoss()
 		if f <= 0 {
 			f = math.SmallestNonzeroFloat64
@@ -78,9 +126,21 @@ func (a *AdaSync) Next(now float64, _ int, evalLoss func() float64) (int, float6
 		if a.curK > a.cfg.M {
 			a.curK = a.cfg.M
 		}
-		for a.nextBoundary <= now {
+		for a.nextBoundary <= info.Time {
 			a.nextBoundary += a.cfg.Interval
 		}
 	}
-	return a.curK, a.cfg.LR
+	a.lastK = a.capped(a.curK, info)
+	return a.lastK, a.cfg.LR
+}
+
+// capped applies the link-aware ceiling to the loss-rule K.
+func (a *AdaSync) capped(k int, info RoundInfo) int {
+	if !a.cfg.LinkAware {
+		return k
+	}
+	if fast := FastLinkCount(info.LinkTimes, a.cfg.M, a.cfg.SlowCutoff); k > fast {
+		k = fast
+	}
+	return k
 }

@@ -68,12 +68,28 @@ func (m Mode) String() string {
 	return "unknown-mode"
 }
 
+// RoundInfo is the server state a Controller sees before each update round —
+// the parameter-server analog of cluster.RoundInfo.
+type RoundInfo struct {
+	Time    float64 // simulated clock
+	Version int     // server updates applied so far
+
+	// LinkTimes[i] is the deterministic transfer time of worker i's most
+	// recent exchange — its link latency plus the wire payload (gradient
+	// push plus any priced pull) over its link's effective bandwidth; the
+	// random compute and push-delay draws are excluded, so the entries
+	// characterize the LINKS, not the luck. All zeros on free homogeneous
+	// links. The slice is server-owned and refreshed in place; controllers
+	// must not retain or mutate it.
+	LinkTimes []float64
+}
+
 // Controller adapts the server's K (and learning rate) over wall-clock
 // time. It is the parameter-server analog of cluster.Controller.
 type Controller interface {
 	// Next returns the K and learning rate to use for the next update
-	// round, given the current simulated time and an on-demand loss probe.
-	Next(now float64, version int, evalLoss func() float64) (k int, lr float64)
+	// round, given the current server state and an on-demand loss probe.
+	Next(info RoundInfo, evalLoss func() float64) (k int, lr float64)
 	Name() string
 }
 
@@ -84,7 +100,7 @@ type FixedK struct {
 }
 
 // Next implements Controller.
-func (f FixedK) Next(float64, int, func() float64) (int, float64) { return f.K, f.LR }
+func (f FixedK) Next(RoundInfo, func() float64) (int, float64) { return f.K, f.LR }
 
 // Name implements Controller.
 func (f FixedK) Name() string { return fmt.Sprintf("K=%d", f.K) }
@@ -212,6 +228,7 @@ type Server struct {
 	comps     []compress.Compressor
 	decBuf    []float64
 	pushBytes int
+	linkTimes []float64 // per-worker transfer time of the latest dispatch
 
 	// Pull state (PullCompress enabled): pullComps[i] compresses the model
 	// delta the server sends worker i, lastPulled[i] is the reconstruction
@@ -257,10 +274,14 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval *data.Dataset, cfg
 		evalDS = trainEval.Subset(idx)
 	}
 	s.evalBatch = data.FullBatch(evalDS)
-	if cfg.Links != nil && len(cfg.Links) != s.m {
-		return nil, fmt.Errorf("paramserver: %d links for %d workers", len(cfg.Links), s.m)
+	if cfg.Links != nil {
+		lm := &delaymodel.Model{M: s.m, Links: cfg.Links}
+		if err := lm.CheckLinks(); err != nil {
+			return nil, fmt.Errorf("paramserver: %w", err)
+		}
 	}
 	s.com = comm.New(comm.Star, s.m)
+	s.linkTimes = make([]float64, s.m)
 	dim := proto.ParamLen()
 	s.pushBytes = 8 * dim
 	if cfg.Compress.Enabled() {
@@ -358,18 +379,26 @@ func (s *Server) dispatch(i int) {
 	// The actual gradient computation happens lazily at completion time;
 	// only the duration is decided now. Compressed payload sizes are
 	// data-independent, so the size-aware transfer term is deterministic.
+	// transfer mirrors the deterministic link terms added to dur below; dur
+	// itself accumulates in the exact legacy order so event times stay bit
+	// for bit.
 	dur := s.cfg.ComputeY.Sample(w.r) + s.cfg.PushDelay.Sample(s.delayRand)
+	transfer := 0.0
 	bw := s.cfg.Bandwidth
 	if s.cfg.Links != nil {
 		l := s.cfg.Links[i]
 		dur += l.Latency
+		transfer += l.Latency
 		if l.Bandwidth > 0 {
 			bw = l.Bandwidth
 		}
 	}
 	if wire := s.pushBytes + pullBytes; bw > 0 {
-		dur += float64(wire) / bw
+		wt := float64(wire) / bw
+		dur += wt
+		transfer += wt
 	}
+	s.linkTimes[i] = transfer
 	s.seq++
 	heap.Push(&s.queue, event{at: s.clock + dur, worker: i, seq: s.seq})
 }
@@ -436,7 +465,7 @@ func (s *Server) Run(ctrl Controller, traceName string) (*metrics.Trace, rng.Sum
 		if s.cfg.MaxTime > 0 && s.clock >= s.cfg.MaxTime {
 			break
 		}
-		k, lr := ctrl.Next(s.clock, s.version, evalLoss)
+		k, lr := ctrl.Next(RoundInfo{Time: s.clock, Version: s.version, LinkTimes: s.linkTimes}, evalLoss)
 		if k < 1 {
 			k = 1
 		}

@@ -203,23 +203,23 @@ func TestAsyncStalenessShrinksWithK(t *testing.T) {
 
 func TestAdaSyncGrowsK(t *testing.T) {
 	a := NewAdaSync(AdaSyncConfig{K0: 1, M: 8, Interval: 10, LR: 0.1})
-	k, lr := a.Next(0, 0, func() float64 { return 2.0 })
+	k, lr := a.Next(RoundInfo{}, func() float64 { return 2.0 })
 	if k != 1 || lr != 0.1 {
 		t.Fatalf("initial K %d lr %v", k, lr)
 	}
 	// Loss dropped 4x: K = ceil(sqrt(4)*1) = 2.
-	k, _ = a.Next(11, 0, func() float64 { return 0.5 })
+	k, _ = a.Next(RoundInfo{Time: 11}, func() float64 { return 0.5 })
 	if k != 2 {
 		t.Fatalf("K after 4x loss drop = %d, want 2", k)
 	}
 	// Stalled loss: growth rule doubles K.
-	k, _ = a.Next(21, 0, func() float64 { return 0.5 })
+	k, _ = a.Next(RoundInfo{Time: 21}, func() float64 { return 0.5 })
 	if k != 4 {
 		t.Fatalf("K after stall = %d, want 4", k)
 	}
 	// Capped at m.
 	for i := 0; i < 5; i++ {
-		k, _ = a.Next(float64(31+10*i), 0, func() float64 { return 0.5 })
+		k, _ = a.Next(RoundInfo{Time: float64(31 + 10*i)}, func() float64 { return 0.5 })
 	}
 	if k != 8 {
 		t.Fatalf("K not capped at m: %d", k)
