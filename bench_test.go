@@ -228,9 +228,13 @@ func BenchmarkStepResNetNano(b *testing.B) {
 	benchModelStep(b, nn.NewResNetNano(shape, 4), shape.Len())
 }
 
-func BenchmarkPASGDRound(b *testing.B) {
+func benchPASGDRound(b *testing.B, computeWorkers int) {
+	b.Helper()
 	w := experiments.BuildWorkload(experiments.ArchLogistic, 4, 4, experiments.ScaleQuick, 3)
-	e := w.Engine(cluster.Config{BatchSize: 8, MaxIters: 1 << 30, EvalEvery: 1 << 30, Seed: 4})
+	e := w.Engine(cluster.Config{
+		BatchSize: 8, MaxIters: 1 << 30, EvalEvery: 1 << 30,
+		ComputeWorkers: computeWorkers, Seed: 4,
+	})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -238,6 +242,13 @@ func BenchmarkPASGDRound(b *testing.B) {
 		e.SyncNow()
 	}
 }
+
+func BenchmarkPASGDRound(b *testing.B) { benchPASGDRound(b, 1) }
+
+// BenchmarkPASGDRoundPool4 runs the same round with the local-update phase
+// fanned across 4 goroutines — bit-identical results; wall-clock gains
+// require as many free cores.
+func BenchmarkPASGDRoundPool4(b *testing.B) { benchPASGDRound(b, 4) }
 
 func BenchmarkRuntimeSampling(b *testing.B) {
 	dm := delaymodel.New(16, rng.Exponential{MeanVal: 1}, rng.Constant{Value: 1},

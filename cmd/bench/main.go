@@ -1,0 +1,235 @@
+// Command bench runs the repository's hot-path micro-benchmarks at a FIXED
+// iteration count and writes the results as JSON, giving every PR a
+// machine-readable perf trajectory to compare against.
+//
+// Usage:
+//
+//	bench                      # print results to stdout
+//	bench -out BENCH_5.json    # write the next PR's record
+//	bench -n 200               # iterations per micro-benchmark (default 100)
+//	bench -out BENCH_5.json -baseline BENCH_4.json -baseline-commit <sha>
+//	                           # embed the previous record as the baseline
+//
+// Rewriting an existing -out file preserves its baseline section.
+//
+// The convention (see ROADMAP.md): each perf-relevant PR N runs
+// `go run ./cmd/bench -out BENCH_<N>.json` on an idle machine and commits
+// the file; earlier BENCH_*.json files are the baselines. Fields are
+// ns/op, B/op, and allocs/op per benchmark, plus the host shape (cores,
+// GOMAXPROCS) that wall-clock numbers depend on. Iteration counts are
+// pinned — unlike `go test -bench`, which auto-scales them — so ns/op is
+// comparable run to run; each benchmark performs one untimed warmup call,
+// which means allocs/op reports the steady state (scratch arenas filled).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sgd"
+	"repro/internal/tensor"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Baseline embeds a previous commit's numbers, for PRs that claim a
+// speedup (populated via -baseline, or carried over from an existing -out
+// file on rewrite).
+type Baseline struct {
+	Commit     string            `json:"commit,omitempty"`
+	Harness    string            `json:"harness,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Record is the full BENCH_*.json document.
+type Record struct {
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Note       string            `json:"note,omitempty"`
+	Baseline   *Baseline         `json:"baseline,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// measure times n calls of the closure produced by setup, after one untimed
+// warmup call, and reports per-op wall clock and heap traffic.
+func measure(n int, setup func() func()) Result {
+	step := setup()
+	step() // warmup: fill scratch arenas, touch all data
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		step()
+	}
+	dur := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return Result{
+		NsPerOp:     float64(dur.Nanoseconds()) / float64(n),
+		BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / int64(n),
+		AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / int64(n),
+		Iterations:  n,
+	}
+}
+
+func gemmSetup() func() {
+	a := tensor.NewMatrix(64, 64)
+	b := tensor.NewMatrix(64, 64)
+	c := tensor.NewMatrix(64, 64)
+	for i := range a.Data {
+		a.Data[i] = float64(i % 7)
+		b.Data[i] = float64(i % 5)
+	}
+	return func() { tensor.Gemm(1, a, b, 0, c) }
+}
+
+func stepSetup(net *nn.Network, dim int) func() {
+	net.InitParams(rng.New(1))
+	r := rng.New(2)
+	batch := data.Batch{X: tensor.NewMatrix(16, dim), Y: make([]int, 16)}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < dim; j++ {
+			batch.X.Set(i, j, r.NormFloat64())
+		}
+		batch.Y[i] = r.Intn(4)
+	}
+	grad := make([]float64, net.ParamLen())
+	opt := sgd.NewOptimizer(sgd.Config{LR: 0.05})
+	return func() {
+		net.LossGrad(batch, grad)
+		opt.Step(net.Params(), grad)
+	}
+}
+
+func pasgdSetup(computeWorkers int) func() {
+	w := experiments.BuildWorkload(experiments.ArchLogistic, 4, 4, experiments.ScaleQuick, 3)
+	e := w.Engine(cluster.Config{
+		BatchSize: 8, MaxIters: 1 << 30, EvalEvery: 1 << 30,
+		ComputeWorkers: computeWorkers, Seed: 4,
+	})
+	return func() {
+		e.StepLocal(10, 0.1)
+		e.SyncNow()
+	}
+}
+
+// fig9Setup regenerates the quick Fig 9 comparison with the given
+// experiment-pool width. The serial variant (workers == 1) also pins the
+// engines' ComputeWorkers to 1 so it is serial END TO END — otherwise each
+// engine would default to GOMAXPROCS and the "serial" baseline would
+// already be partially parallel on multi-core hosts.
+func fig9Setup(workers int) func() {
+	spec := experiments.Fig9Spec(10, false, experiments.ScaleQuick)
+	if workers == 1 {
+		spec.ComputeWorkers = 1
+	}
+	return func() {
+		old := experiments.SetWorkers(workers)
+		_ = experiments.RunComparison(spec)
+		experiments.SetWorkers(old)
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	n := flag.Int("n", 100, "iterations per micro-benchmark")
+	note := flag.String("note", "", "free-form note recorded in the JSON")
+	baselineFile := flag.String("baseline", "",
+		"embed this BENCH_*.json's benchmarks as the baseline of the new record")
+	baselineCommit := flag.String("baseline-commit", "",
+		"commit label recorded alongside -baseline")
+	flag.Parse()
+
+	shape := data.ImageShape{Channels: 3, Height: 8, Width: 8}
+	benches := []struct {
+		name string
+		n    int // 0 = the -n default
+		fn   func() func()
+	}{
+		{"Gemm64", 0, gemmSetup},
+		{"StepVGGNano", 0, func() func() { return stepSetup(nn.NewVGGNano(shape, 4), shape.Len()) }},
+		{"StepResNetNano", 0, func() func() { return stepSetup(nn.NewResNetNano(shape, 4), shape.Len()) }},
+		{"PASGDRound/serial", 0, func() func() { return pasgdSetup(1) }},
+		{"PASGDRound/pool4", 0, func() func() { return pasgdSetup(4) }},
+		// Fig9Quick is an end-to-end figure regeneration (seconds per op);
+		// 2 iterations bound the total runtime.
+		{"Fig9Quick/serial", 2, func() func() { return fig9Setup(1) }},
+		{"Fig9Quick/pool4", 2, func() func() { return fig9Setup(4) }},
+	}
+
+	rec := Record{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+		Benchmarks: map[string]Result{},
+	}
+	for _, bench := range benches {
+		iters := bench.n
+		if iters == 0 {
+			iters = *n
+		}
+		res := measure(iters, bench.fn)
+		rec.Benchmarks[bench.name] = res
+		fmt.Fprintf(os.Stderr, "%-20s %14.0f ns/op %12d B/op %8d allocs/op (n=%d)\n",
+			bench.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+	}
+
+	if *baselineFile != "" {
+		var prev Record
+		raw, err := os.ReadFile(*baselineFile)
+		if err == nil {
+			err = json.Unmarshal(raw, &prev)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -baseline: %v\n", err)
+			os.Exit(1)
+		}
+		rec.Baseline = &Baseline{
+			Commit:     *baselineCommit,
+			Harness:    "cmd/bench",
+			Benchmarks: prev.Benchmarks,
+		}
+	} else if *out != "" {
+		// Rewriting an existing record must not silently drop its baseline.
+		if raw, err := os.ReadFile(*out); err == nil {
+			var prev Record
+			if json.Unmarshal(raw, &prev) == nil && prev.Baseline != nil {
+				rec.Baseline = prev.Baseline
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}

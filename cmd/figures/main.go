@@ -10,6 +10,11 @@
 //	figures -table 1        # only Table 1
 //	figures -quick          # reduced sizes (smoke test)
 //	figures -csv out/       # also write trace CSVs into out/
+//	figures -workers 8      # run up to 8 methods per figure concurrently
+//
+// Each figure's methods are independent training runs, so they execute
+// concurrently on the experiment pool (default width GOMAXPROCS); the
+// output is byte-identical at any -workers setting.
 //
 // The Monte-Carlo runtime figures (5, 8) and the bound-driven schedule
 // (fig 7) can be regenerated for a bandwidth-constrained link by pricing
@@ -41,7 +46,13 @@ func main() {
 		"per-broadcast payload in bytes for the runtime figures 5/7/8 (0 = the paper's size-free model)")
 	bandwidth := flag.Float64("bandwidth", 0,
 		"per-link bandwidth in bytes per simulated second for -bytes pricing (0 = infinite)")
+	workers := flag.Int("workers", 0,
+		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
 	flag.Parse()
+
+	if *workers > 0 {
+		experiments.SetWorkers(*workers)
+	}
 
 	if *bytes < 0 || *bandwidth < 0 {
 		fmt.Fprintf(os.Stderr, "figures: -bytes %d and -bandwidth %g must be >= 0\n", *bytes, *bandwidth)

@@ -11,6 +11,10 @@
 //	sweep -ablation t0       # interval length sensitivity
 //	sweep -ablation delay    # constant vs exponential vs Pareto Y
 //	sweep -ablation all
+//
+// Grid cells are independent configurations and run concurrently on the
+// experiment pool (-workers, default GOMAXPROCS); the output is
+// byte-identical at any width.
 package main
 
 import (
@@ -24,7 +28,13 @@ import (
 func main() {
 	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | all")
 	quick := flag.Bool("quick", false, "use reduced sizes")
+	workers := flag.Int("workers", 0,
+		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
 	flag.Parse()
+
+	if *workers > 0 {
+		experiments.SetWorkers(*workers)
+	}
 
 	scale := experiments.ScaleFull
 	if *quick {

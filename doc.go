@@ -46,4 +46,21 @@
 // in internal/experiments quantifies the win on a 10x bandwidth straggler.
 // See cmd/adacomm's -link-aware flag and cmd/figures' -bytes/-bandwidth
 // flags for the size-aware Fig 5/7/8 Monte-Carlo variants.
+//
+// The training hot path is deterministic-parallel at three layers. (1) The
+// lock-step engine fans each round's per-worker local-update loops across a
+// bounded goroutine pool (cluster.Config.ComputeWorkers, default
+// GOMAXPROCS): workers are independent between averaging points and the
+// reduce always runs in fixed worker order, so pool width cannot change a
+// bit of any trajectory (pinned by golden and determinism tests). (2) The
+// nn layers are allocation-free in steady state: every layer owns a scratch
+// arena — the matrices it returns from Forward/Backward, reused across
+// steps — so a training step performs zero heap allocations once buffers
+// are warm; the arena rule is one arena per layer, layers belong to one
+// Network, and a Network is never shared across goroutines (each simulated
+// worker owns a replica). (3) Experiment grids (figure baselines,
+// ablations, compression cells, link-aware configs) run their independent
+// configurations concurrently on internal/experiments' pool (-workers on
+// cmd/figures and cmd/sweep), with byte-identical output at any width.
+// Perf numbers are recorded per PR as BENCH_<n>.json via cmd/bench.
 package repro

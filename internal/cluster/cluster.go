@@ -37,11 +37,22 @@
 // model averaging is a real barrier all-reduce over channels. Both produce
 // bitwise-identical parameter trajectories given the same seed, which the
 // test suite verifies.
+//
+// The lock-step engine's local-update phase is itself parallel: each
+// round's tau per-worker update loops fan out across a bounded goroutine
+// pool (Config.ComputeWorkers, default GOMAXPROCS). Workers are
+// independent between averaging points — each owns its model replica,
+// sampler RNG stream, optimizer, and gradient buffer — and the averaging
+// step always reduces contributions in fixed worker order, so the pool
+// width and goroutine scheduling cannot change a single bit of the
+// trajectory. ComputeWorkers: 1 forces the legacy serial loop; the golden
+// and determinism tests pin serial and parallel traces bit-identical.
 package cluster
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/comm"
 	"repro/internal/compress"
@@ -49,6 +60,7 @@ import (
 	"repro/internal/delaymodel"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sgd"
 	"repro/internal/tensor"
@@ -90,6 +102,16 @@ type Config struct {
 	// compute times are multiplied by StragglerFactor[i]. nil = all 1.
 	StragglerFactor []float64
 
+	// ComputeWorkers bounds the goroutine pool that executes the simulated
+	// workers' local-update phases (Run, StepLocal). 0 defaults to
+	// runtime.GOMAXPROCS(0); an effective value of 1 (explicitly, or on a
+	// single-core machine) takes the legacy serial path. Workers are
+	// independent between averaging points — each owns its replica, sampler
+	// stream, and optimizer — and averaging reduces in fixed worker order,
+	// so parallel execution is bit-identical to serial (asserted by the
+	// golden and determinism tests). Negative values are rejected.
+	ComputeWorkers int
+
 	// Strategy selects the mixing rule at synchronization points:
 	// FullAveraging (PASGD, the default), RingGossip (decentralized), or
 	// ElasticAveraging (EASGD). Block momentum requires FullAveraging.
@@ -129,6 +151,9 @@ func (c Config) validate(m int) error {
 	}
 	if c.StragglerFactor != nil && len(c.StragglerFactor) != m {
 		return fmt.Errorf("cluster: straggler factors %d != workers %d", len(c.StragglerFactor), m)
+	}
+	if c.ComputeWorkers < 0 {
+		return fmt.Errorf("cluster: compute workers %d < 0", c.ComputeWorkers)
 	}
 	if c.BlockMomentum != 0 && c.Strategy != FullAveraging {
 		return fmt.Errorf("cluster: block momentum requires FullAveraging, got %s", c.Strategy)
@@ -220,6 +245,7 @@ type Engine struct {
 	workers []*worker
 	m       int
 	dim     int
+	pool    int // resolved compute-pool width (<=1 means serial)
 
 	global []float64 // synchronized model parameters
 	ublock []float64 // block-momentum buffer (displacement units)
@@ -245,6 +271,8 @@ type Engine struct {
 	deltaBuf []float64
 	sumBuf   []float64
 	msgBuf   []compress.Message
+	avgBuf   []float64 // averaging scratch, reused every round
+	dispBuf  []float64 // block-momentum displacement scratch
 
 	evalModel *nn.Network // scratch replica for loss/accuracy evaluation
 	evalSet   *data.Dataset
@@ -340,6 +368,14 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 	e.linkTimes = make([]float64, m)
 	e.sumBuf = make([]float64, e.dim)
 	e.msgBuf = make([]compress.Message, m)
+	e.avgBuf = make([]float64, e.dim)
+	e.pool = cfg.ComputeWorkers
+	if e.pool == 0 {
+		e.pool = runtime.GOMAXPROCS(0)
+	}
+	if e.pool > m {
+		e.pool = m
+	}
 	if cfg.Compress.Enabled() {
 		e.comps = make([]compress.Compressor, m)
 		for i := range e.comps {
@@ -433,6 +469,31 @@ func (e *Engine) setCompressionRatio(r float64) {
 	}
 }
 
+// runSteps advances one worker by `steps` local SGD iterations at lr. All
+// state it touches — replica, sampler stream, optimizer, gradient buffer —
+// is owned by this worker, which is what makes the fan-out below safe AND
+// bit-identical: no execution schedule can change any worker's arithmetic.
+func (w *worker) runSteps(steps int, lr float64) {
+	w.opt.SetLR(lr)
+	for k := 0; k < steps; k++ {
+		b := w.sampler.Next()
+		w.model.LossGrad(b, w.grad)
+		w.opt.Step(w.model.Params(), w.grad)
+	}
+}
+
+// localUpdates advances every worker by `steps` local iterations at lr,
+// fanning the per-worker update loops across the bounded compute pool
+// (Config.ComputeWorkers). Workers do not interact between averaging
+// points, so the result is bit-identical to the serial loop regardless of
+// pool width or scheduling; the averaging that follows always reduces in
+// fixed worker order.
+func (e *Engine) localUpdates(steps int, lr float64) {
+	par.ForEach(e.m, e.pool, func(i int) {
+		e.workers[i].runSteps(steps, lr)
+	})
+}
+
 // average synchronizes the replicas according to the configured strategy
 // and refreshes e.global (the model that evaluation and AdaComm observe).
 func (e *Engine) average() {
@@ -452,7 +513,7 @@ func (e *Engine) average() {
 // every replica. With compression active, the mean is computed from
 // compressed per-worker deltas instead of raw vectors.
 func (e *Engine) averageFull() {
-	avg := make([]float64, e.dim)
+	avg := e.avgBuf
 	if e.comps != nil {
 		e.compressedDeltaMean(avg)
 	} else {
@@ -479,7 +540,10 @@ func (e *Engine) averageFull() {
 		// round's aggregate movement as one big gradient step and filter
 		// it with a global momentum buffer. lr is already folded into the
 		// displacement, matching eq 25 with the round's eta.
-		disp := make([]float64, e.dim)
+		if e.dispBuf == nil {
+			e.dispBuf = make([]float64, e.dim)
+		}
+		disp := e.dispBuf
 		tensor.Sub(disp, e.global, avg) // x_start - avg = eta * G_j
 		for i := range e.ublock {
 			e.ublock[i] = e.cfg.BlockMomentum*e.ublock[i] + disp[i]
@@ -575,17 +639,8 @@ func (e *Engine) Run(ctrl Controller, traceName string) *metrics.Trace {
 			}
 		}
 
-		for _, w := range e.workers {
-			w.opt.SetLR(lr)
-		}
-		for k := 0; k < steps; k++ {
-			for _, w := range e.workers {
-				b := w.sampler.Next()
-				w.model.LossGrad(b, w.grad)
-				w.opt.Step(w.model.Params(), w.grad)
-			}
-			info.Iter++
-		}
+		e.localUpdates(steps, lr)
+		info.Iter += steps
 		// Averaging precedes the clock update so roundTime can charge this
 		// round's (possibly compressed) broadcast payload. Neither step
 		// draws from the other's RNG stream, so the order swap leaves
@@ -616,16 +671,7 @@ func (e *Engine) Run(ctrl Controller, traceName string) *metrics.Trace {
 // to inspect unsynchronized replicas mid-period. Run and RunParallel do not
 // share state with this method's iteration accounting.
 func (e *Engine) StepLocal(k int, lr float64) int {
-	for _, w := range e.workers {
-		w.opt.SetLR(lr)
-	}
-	for s := 0; s < k; s++ {
-		for _, w := range e.workers {
-			b := w.sampler.Next()
-			w.model.LossGrad(b, w.grad)
-			w.opt.Step(w.model.Params(), w.grad)
-		}
-	}
+	e.localUpdates(k, lr)
 	return k
 }
 

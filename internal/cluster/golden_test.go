@@ -74,21 +74,34 @@ func TestGoldenTracesBitIdentical(t *testing.T) {
 		{"bw64-dense", base, 64, 0x40ee2aeb9872f8f8, 0xc904431c23792786, 920},
 		{"topk-ef", topk, 0, 0x3b418a62fdd09c91, 0x2cd5fc15c5a7b0b2, 480},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			s := newSetup(t, 4, 1)
-			s.dm.Bandwidth = tc.bandwidth
-			e := s.engine(t, tc.cfg)
-			tr := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, tc.name)
-			if got := hashParams(e.GlobalParams()); got != tc.params {
-				t.Errorf("params hash %#016x, golden %#016x", got, tc.params)
-			}
-			if got := hashTrace(tr); got != tc.trace {
-				t.Errorf("trace hash %#016x, golden %#016x", got, tc.trace)
-			}
-			if got := tr.Last().Time; got != tc.finalTime {
-				t.Errorf("final time %v, golden %v", got, tc.finalTime)
-			}
-		})
+	// Every golden case must hold under both the legacy serial local-update
+	// loop and the fanned-out compute pool: workers are independent between
+	// averaging points, so pool width cannot change a bit of the trajectory.
+	for _, pool := range []struct {
+		suffix  string
+		workers int
+	}{
+		{"", 1},
+		{"/pool4", 4},
+	} {
+		for _, tc := range cases {
+			cfg := tc.cfg
+			cfg.ComputeWorkers = pool.workers
+			t.Run(tc.name+pool.suffix, func(t *testing.T) {
+				s := newSetup(t, 4, 1)
+				s.dm.Bandwidth = tc.bandwidth
+				e := s.engine(t, cfg)
+				tr := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, tc.name)
+				if got := hashParams(e.GlobalParams()); got != tc.params {
+					t.Errorf("params hash %#016x, golden %#016x", got, tc.params)
+				}
+				if got := hashTrace(tr); got != tc.trace {
+					t.Errorf("trace hash %#016x, golden %#016x", got, tc.trace)
+				}
+				if got := tr.Last().Time; got != tc.finalTime {
+					t.Errorf("final time %v, golden %v", got, tc.finalTime)
+				}
+			})
+		}
 	}
 }

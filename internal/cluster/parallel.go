@@ -77,12 +77,7 @@ func (e *Engine) RunParallel(ctrl Controller, traceName string) *metrics.Trace {
 			wg.Add(1)
 			go func(i int, w *worker) {
 				defer wg.Done()
-				w.opt.SetLR(lr)
-				for k := 0; k < steps; k++ {
-					b := w.sampler.Next()
-					w.model.LossGrad(b, w.grad)
-					w.opt.Step(w.model.Params(), w.grad)
-				}
+				w.runSteps(steps, lr)
 				contribute[i] <- w.model.Params()
 			}(i, w)
 		}

@@ -169,6 +169,7 @@ type Sampler struct {
 	perm      []int
 	pos       int
 	epoch     int
+	batch     Batch // reused across Next calls (see Next's doc)
 }
 
 // NewSampler creates a sampler over ds drawing batches of the given size.
@@ -194,6 +195,11 @@ func (s *Sampler) Epoch() int { return s.epoch }
 
 // Next returns the next mini-batch, wrapping (and reshuffling) at epoch
 // boundaries. The final partial batch of an epoch is emitted as-is.
+//
+// The returned Batch shares the sampler's internal buffers and is valid
+// only until the next call to Next — the training hot path consumes each
+// batch immediately, so reusing the storage keeps per-step allocations at
+// zero. Callers that retain a batch must copy it.
 func (s *Sampler) Next() Batch {
 	if s.pos >= len(s.perm) {
 		s.epoch++
@@ -206,23 +212,38 @@ func (s *Sampler) Next() Batch {
 	idx := s.perm[s.pos:end]
 	s.pos = end
 
-	b := Batch{X: tensor.NewMatrix(len(idx), s.ds.Dim())}
+	b := &s.batch
+	dim := s.ds.Dim()
+	if need := len(idx) * dim; b.X == nil || cap(b.X.Data) < need {
+		b.X = tensor.NewMatrix(len(idx), dim)
+	} else {
+		b.X.Rows, b.X.Cols = len(idx), dim
+		b.X.Data = b.X.Data[:need]
+	}
 	for i, j := range idx {
 		copy(b.X.Row(i), s.ds.X.Row(j))
 	}
 	if s.ds.Y != nil {
-		b.Y = make([]int, len(idx))
+		if cap(b.Y) < len(idx) {
+			b.Y = make([]int, len(idx))
+		} else {
+			b.Y = b.Y[:len(idx)]
+		}
 		for i, j := range idx {
 			b.Y[i] = s.ds.Y[j]
 		}
 	}
 	if s.ds.T != nil {
-		b.T = make([]float64, len(idx))
+		if cap(b.T) < len(idx) {
+			b.T = make([]float64, len(idx))
+		} else {
+			b.T = b.T[:len(idx)]
+		}
 		for i, j := range idx {
 			b.T[i] = s.ds.T[j]
 		}
 	}
-	return b
+	return *b
 }
 
 // FullBatch materializes the entire dataset as one batch (used for exact

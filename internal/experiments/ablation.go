@@ -48,14 +48,19 @@ func TauGridAblation(scale Scale) []TauGridRow {
 	w, cfg, budget := ablationWorkload(scale)
 	cfg.MaxTime = budget / 8 // short probes
 	candidates := []int{1, 2, 5, 10, 20, 50, 100}
-	traces := map[int]*metrics.Trace{}
-	run := func(tau int) *metrics.Trace {
+	// Probe every candidate concurrently (each probe owns its engine), then
+	// replay the memoized traces through the paper's selection rule.
+	probes := make([]*metrics.Trace, len(candidates))
+	forEach(len(candidates), func(i int) {
 		e := w.Engine(cfg)
-		tr := e.Run(cluster.FixedTau{Tau: tau, Schedule: sgd.Const{Eta: 0.12}}, fmt.Sprintf("tau=%d", tau))
-		traces[tau] = tr
-		return tr
+		probes[i] = e.Run(cluster.FixedTau{Tau: candidates[i], Schedule: sgd.Const{Eta: 0.12}},
+			fmt.Sprintf("tau=%d", candidates[i]))
+	})
+	traces := map[int]*metrics.Trace{}
+	for i, tau := range candidates {
+		traces[tau] = probes[i]
 	}
-	chosen := core.GridSearchTau0(candidates, run)
+	chosen := core.GridSearchTau0(candidates, func(tau int) *metrics.Trace { return traces[tau] })
 	rows := make([]TauGridRow, 0, len(candidates))
 	for _, tau := range candidates {
 		rows = append(rows, TauGridRow{
@@ -94,16 +99,18 @@ type GammaRow struct {
 // loss ratio says so), which leaves tau stuck high on plateaus.
 func GammaAblation(scale Scale) []GammaRow {
 	w, cfg, budget := ablationWorkload(scale)
-	var rows []GammaRow
-	for _, gamma := range []float64{0.95, 0.5, 0.25} {
+	gammas := []float64{0.95, 0.5, 0.25}
+	rows := make([]GammaRow, len(gammas))
+	forEach(len(gammas), func(i int) {
+		gamma := gammas[i]
 		ada := core.NewAdaComm(core.Config{
 			Tau0: 32, Interval: budget / 12, Gamma: gamma,
 			Schedule: sgd.Const{Eta: 0.12},
 		})
 		e := w.Engine(cfg)
 		tr := e.Run(ada, fmt.Sprintf("gamma=%g", gamma))
-		rows = append(rows, GammaRow{Gamma: gamma, FinalLoss: tr.FinalLoss(), FinalTau: ada.Tau()})
-	}
+		rows[i] = GammaRow{Gamma: gamma, FinalLoss: tr.FinalLoss(), FinalTau: ada.Tau()}
+	})
 	return rows
 }
 
@@ -133,8 +140,10 @@ type CouplingRow struct {
 func CouplingAblation(scale Scale) []CouplingRow {
 	w, cfg, budget := ablationWorkload(scale)
 	sched := sgd.MultiStep{Eta: 0.12, Factor: 0.1, Milestones: []int{8, 16}}
-	var rows []CouplingRow
-	for _, rule := range []core.Coupling{core.NoCoupling, core.SqrtCoupling, core.FullCoupling} {
+	rules := []core.Coupling{core.NoCoupling, core.SqrtCoupling, core.FullCoupling}
+	rows := make([]CouplingRow, len(rules))
+	forEach(len(rules), func(i int) {
+		rule := rules[i]
 		ada := core.NewAdaComm(core.Config{
 			Tau0: 16, Interval: budget / 12, Gamma: 0.5,
 			Schedule: sched, Coupling: rule,
@@ -147,8 +156,8 @@ func CouplingAblation(scale Scale) []CouplingRow {
 				maxTau = p.Tau
 			}
 		}
-		rows = append(rows, CouplingRow{Rule: rule, FinalLoss: tr.FinalLoss(), MaxTau: maxTau})
-	}
+		rows[i] = CouplingRow{Rule: rule, FinalLoss: tr.FinalLoss(), MaxTau: maxTau}
+	})
 	return rows
 }
 
@@ -177,9 +186,10 @@ type IntervalRow struct {
 // mostly harmless since the rule is loss-ratio based.
 func IntervalAblation(scale Scale) []IntervalRow {
 	w, cfg, budget := ablationWorkload(scale)
-	var rows []IntervalRow
-	for _, div := range []float64{40, 12, 4} {
-		t0 := budget / div
+	divs := []float64{40, 12, 4}
+	rows := make([]IntervalRow, len(divs))
+	forEach(len(divs), func(i int) {
+		t0 := budget / divs[i]
 		ada := core.NewAdaComm(core.Config{
 			Tau0: 32, Interval: t0, Gamma: 0.5,
 			Schedule: sgd.Const{Eta: 0.12},
@@ -192,8 +202,8 @@ func IntervalAblation(scale Scale) []IntervalRow {
 				seen[p.Tau] = true
 			}
 		}
-		rows = append(rows, IntervalRow{T0: t0, FinalLoss: tr.FinalLoss(), Adaptations: len(seen)})
-	}
+		rows[i] = IntervalRow{T0: t0, FinalLoss: tr.FinalLoss(), Adaptations: len(seen)}
+	})
 	return rows
 }
 
@@ -223,22 +233,23 @@ type StrategyRow struct {
 // communication extends directly to those frameworks.
 func StrategyAblation(scale Scale) []StrategyRow {
 	w, cfg, budget := ablationWorkload(scale)
-	var rows []StrategyRow
-	for _, strat := range []cluster.Strategy{
+	strats := []cluster.Strategy{
 		cluster.FullAveraging, cluster.RingGossip, cluster.ElasticAveraging,
-	} {
+	}
+	rows := make([]StrategyRow, len(strats))
+	forEach(len(strats), func(i int) {
 		c := cfg
-		c.Strategy = strat
+		c.Strategy = strats[i]
 		ada := core.NewAdaComm(core.Config{
 			Tau0: 16, Interval: budget / 12, Gamma: 0.5,
 			Schedule: sgd.Const{Eta: 0.12},
 		})
 		e := w.Engine(c)
-		tr := e.Run(ada, strat.String())
-		rows = append(rows, StrategyRow{
-			Strategy: strat, FinalLoss: tr.FinalLoss(), MinLoss: tr.MinLoss(),
-		})
-	}
+		tr := e.Run(ada, strats[i].String())
+		rows[i] = StrategyRow{
+			Strategy: strats[i], FinalLoss: tr.FinalLoss(), MinLoss: tr.MinLoss(),
+		}
+	})
 	return rows
 }
 

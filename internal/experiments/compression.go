@@ -96,33 +96,47 @@ func (spec CompressionGridSpec) runCell(w *Workload, tau int, cs compress.Spec, 
 
 // RunCompressionGrid trains every (tau, compressor) cell on a shared
 // workload and reports time-to-target at a loss level all cells reach.
+// Cells are independent (each owns its engine and compressor streams), so
+// the grid fans out across the experiment pool.
 func RunCompressionGrid(spec CompressionGridSpec) CompressionGridResult {
 	w := spec.workload()
+
+	type cellSpec struct {
+		tau int
+		cs  compress.Spec
+	}
+	var cellSpecs []cellSpec
+	for _, tau := range spec.Taus {
+		for _, cs := range spec.Specs {
+			cellSpecs = append(cellSpecs, cellSpec{tau: tau, cs: cs})
+		}
+	}
 
 	type cell struct {
 		row   CompressionGridRow
 		trace *metrics.Trace
 	}
-	var cells []cell
-	var traces []*metrics.Trace
-	for _, tau := range spec.Taus {
-		for _, cs := range spec.Specs {
-			name := fmt.Sprintf("tau=%d/%s", tau, cs)
-			e, tr := spec.runCell(w, tau, cs, name)
-			cells = append(cells, cell{
-				row: CompressionGridRow{
-					Tau:           tau,
-					Compressor:    cs.String(),
-					BytesPerRound: e.CommBytesPerRound(),
-					FinalLoss:     tr.FinalLoss(),
-					MinLoss:       tr.MinLoss(),
-				},
-				trace: tr,
-			})
-			traces = append(traces, tr)
+	cells := make([]cell, len(cellSpecs))
+	forEach(len(cellSpecs), func(i int) {
+		tau, cs := cellSpecs[i].tau, cellSpecs[i].cs
+		name := fmt.Sprintf("tau=%d/%s", tau, cs)
+		e, tr := spec.runCell(w, tau, cs, name)
+		cells[i] = cell{
+			row: CompressionGridRow{
+				Tau:           tau,
+				Compressor:    cs.String(),
+				BytesPerRound: e.CommBytesPerRound(),
+				FinalLoss:     tr.FinalLoss(),
+				MinLoss:       tr.MinLoss(),
+			},
+			trace: tr,
 		}
-	}
+	})
 
+	traces := make([]*metrics.Trace, len(cells))
+	for i := range cells {
+		traces[i] = cells[i].trace
+	}
 	res := CompressionGridResult{Spec: spec, Target: reachableTarget(traces, 0.05)}
 	for _, c := range cells {
 		c.row.TimeToTarget = c.trace.TimeToLoss(res.Target)
@@ -164,9 +178,16 @@ func CompressionTradeoff(scale Scale) CompressionTradeoffResult {
 	const tau = 5
 	w := spec.workload()
 
-	_, dense := spec.runCell(w, tau, compress.Spec{}, "dense")
-	_, sparse := spec.runCell(w, tau,
-		compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true}, "topk+ef")
+	pair := []compress.Spec{
+		{},
+		{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true},
+	}
+	names := []string{"dense", "topk+ef"}
+	out := make([]*metrics.Trace, len(pair))
+	forEach(len(pair), func(i int) {
+		_, out[i] = spec.runCell(w, tau, pair[i], names[i])
+	})
+	dense, sparse := out[0], out[1]
 
 	res := CompressionTradeoffResult{
 		Tau:          tau,

@@ -77,28 +77,34 @@ func HeterogeneousStragglerAblation(spec HeteroSpec) []HeteroRow {
 		EvalSubset: 400,
 		Seed:       spec.Seed + 1,
 	}
-	run := func(name string, ctrl cluster.Controller) HeteroRow {
+	sched := sgd.Const{Eta: spec.LR}
+	runs := []struct {
+		name string
+		ctrl func() cluster.Controller
+	}{
+		{"tau=1", func() cluster.Controller { return cluster.FixedTau{Tau: 1, Schedule: sched} }},
+		{fmt.Sprintf("tau=%d", spec.Tau0), func() cluster.Controller {
+			return cluster.FixedTau{Tau: spec.Tau0, Schedule: sched}
+		}},
+		{"adacomm", func() cluster.Controller {
+			return core.NewAdaComm(core.Config{
+				Tau0: spec.Tau0, Interval: spec.TimeBudget / 12, Gamma: 0.5,
+				Schedule: sched,
+			})
+		}},
+	}
+	rows := make([]HeteroRow, len(runs))
+	forEach(len(runs), func(i int) {
 		e := w.Engine(cfg)
-		tr := e.Run(ctrl, name)
-		row := HeteroRow{
-			Method:    name,
+		tr := e.Run(runs[i].ctrl(), runs[i].name)
+		rows[i] = HeteroRow{
+			Method:    runs[i].name,
 			FinalLoss: tr.FinalLoss(),
 			MinLoss:   tr.MinLoss(),
 			Iters:     tr.Last().Iter,
 			FinalTau:  tr.Last().Tau,
 		}
-		return row
-	}
-
-	sched := sgd.Const{Eta: spec.LR}
-	rows := []HeteroRow{
-		run("tau=1", cluster.FixedTau{Tau: 1, Schedule: sched}),
-		run(fmt.Sprintf("tau=%d", spec.Tau0), cluster.FixedTau{Tau: spec.Tau0, Schedule: sched}),
-		run("adacomm", core.NewAdaComm(core.Config{
-			Tau0: spec.Tau0, Interval: spec.TimeBudget / 12, Gamma: 0.5,
-			Schedule: sched,
-		})),
-	}
+	})
 	return rows
 }
 

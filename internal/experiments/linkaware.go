@@ -88,18 +88,19 @@ func LinkAwareAblation(spec HeteroSpec) (float64, []LinkAwareRow) {
 			Schedule: sched, LinkAware: linkAware,
 		}
 	}
-	var traces []*metrics.Trace
-	for _, rc := range []struct {
+	runs := []struct {
 		name string
-		ctrl cluster.Controller
+		ctrl func() cluster.Controller
 	}{
-		{"tau=1", cluster.FixedTau{Tau: 1, Schedule: sched}},
-		{"adacomm", core.NewAdaComm(adaCfg(false))},
-		{"adacomm+link", core.NewAdaComm(adaCfg(true))},
-	} {
-		e := w.Engine(cfg)
-		traces = append(traces, e.Run(rc.ctrl, rc.name))
+		{"tau=1", func() cluster.Controller { return cluster.FixedTau{Tau: 1, Schedule: sched} }},
+		{"adacomm", func() cluster.Controller { return core.NewAdaComm(adaCfg(false)) }},
+		{"adacomm+link", func() cluster.Controller { return core.NewAdaComm(adaCfg(true)) }},
 	}
+	traces := make([]*metrics.Trace, len(runs))
+	forEach(len(runs), func(i int) {
+		e := w.Engine(cfg)
+		traces[i] = e.Run(runs[i].ctrl(), runs[i].name)
+	})
 	return linkAwareRows(traces)
 }
 
@@ -139,21 +140,22 @@ func LinkAwareAdaSyncAblation(scale Scale) (float64, []LinkAwareRow) {
 			K0: 1, M: m, Interval: budget / 40, LR: 0.1, LinkAware: linkAware,
 		}
 	}
-	var traces []*metrics.Trace
-	for _, rc := range []struct {
+	runs := []struct {
 		name string
-		ctrl paramserver.Controller
+		ctrl func() paramserver.Controller
 	}{
-		{"adasync", paramserver.NewAdaSync(adaCfg(false))},
-		{"adasync+link", paramserver.NewAdaSync(adaCfg(true))},
-	} {
+		{"adasync", func() paramserver.Controller { return paramserver.NewAdaSync(adaCfg(false)) }},
+		{"adasync+link", func() paramserver.Controller { return paramserver.NewAdaSync(adaCfg(true)) }},
+	}
+	traces := make([]*metrics.Trace, len(runs))
+	forEach(len(runs), func(i int) {
 		s, err := paramserver.New(w.Proto, shards, w.Train, cfg)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))
 		}
-		tr, _ := s.Run(rc.ctrl, rc.name)
-		traces = append(traces, tr)
-	}
+		tr, _ := s.Run(runs[i].ctrl(), runs[i].name)
+		traces[i] = tr
+	})
 	return linkAwareRows(traces)
 }
 

@@ -40,6 +40,11 @@ type TrainSpec struct {
 
 	EvalEvery  int
 	EvalSubset int
+
+	// ComputeWorkers pins the engines' compute-pool width (see
+	// cluster.Config.ComputeWorkers). 0 lets Workload.Engine pick: serial
+	// engines inside a parallel grid fan-out, GOMAXPROCS otherwise.
+	ComputeWorkers int
 }
 
 func (s TrainSpec) withDefaults() TrainSpec {
@@ -79,41 +84,63 @@ type Comparison struct {
 }
 
 // RunComparison executes all baselines and AdaComm on a shared workload.
+// Each method owns its engine and controller, so the methods run
+// concurrently on the experiment pool (SetWorkers); results land in display
+// order, identical to a serial sweep.
 func RunComparison(spec TrainSpec) *Comparison {
 	spec = spec.withDefaults()
 	w := BuildWorkload(spec.Arch, spec.Classes, spec.M, spec.Scale, spec.Seed)
 	sched := spec.schedule()
 
 	cfg := cluster.Config{
-		BatchSize:     spec.BatchSize,
-		Momentum:      spec.Momentum,
-		BlockMomentum: spec.BlockMomentum,
-		MaxTime:       spec.TimeBudget,
-		EvalEvery:     spec.EvalEvery,
-		EvalSubset:    spec.EvalSubset,
-		AccEverySync:  5,
-		Seed:          spec.Seed + 1,
+		BatchSize:      spec.BatchSize,
+		Momentum:       spec.Momentum,
+		BlockMomentum:  spec.BlockMomentum,
+		MaxTime:        spec.TimeBudget,
+		EvalEvery:      spec.EvalEvery,
+		EvalSubset:     spec.EvalSubset,
+		AccEverySync:   5,
+		ComputeWorkers: spec.ComputeWorkers,
+		Seed:           spec.Seed + 1,
 	}
 
 	cmp := &Comparison{Spec: spec, Traces: map[string]*metrics.Trace{}}
-	for _, tau := range spec.Taus {
-		name := fmt.Sprintf("tau=%d", tau)
-		e := w.Engine(cfg)
-		cmp.Traces[name] = e.Run(cluster.FixedTau{Tau: tau, Schedule: sched}, name)
-		cmp.Order = append(cmp.Order, name)
+	type job struct {
+		name string
+		ctrl func() cluster.Controller
 	}
-
-	ada := core.NewAdaComm(core.Config{
-		Tau0:         spec.Tau0,
-		Interval:     spec.Interval,
-		Gamma:        0.5,
-		Schedule:     sched,
-		Coupling:     couplingFor(spec),
-		DeferLRDecay: spec.VariableLR,
+	var jobs []job
+	for _, tau := range spec.Taus {
+		tau := tau
+		jobs = append(jobs, job{
+			name: fmt.Sprintf("tau=%d", tau),
+			ctrl: func() cluster.Controller {
+				return cluster.FixedTau{Tau: tau, Schedule: sched}
+			},
+		})
+	}
+	jobs = append(jobs, job{
+		name: "AdaComm",
+		ctrl: func() cluster.Controller {
+			return core.NewAdaComm(core.Config{
+				Tau0:         spec.Tau0,
+				Interval:     spec.Interval,
+				Gamma:        0.5,
+				Schedule:     sched,
+				Coupling:     couplingFor(spec),
+				DeferLRDecay: spec.VariableLR,
+			})
+		},
 	})
-	e := w.Engine(cfg)
-	cmp.Traces["AdaComm"] = e.Run(ada, "AdaComm")
-	cmp.Order = append(cmp.Order, "AdaComm")
+
+	traces := make([]*metrics.Trace, len(jobs))
+	forEach(len(jobs), func(i int) {
+		traces[i] = w.Engine(cfg).Run(jobs[i].ctrl(), jobs[i].name)
+	})
+	for i, j := range jobs {
+		cmp.Traces[j.name] = traces[i]
+		cmp.Order = append(cmp.Order, j.name)
+	}
 	return cmp
 }
 

@@ -114,8 +114,16 @@ func BuildWorkload(arch Arch, classes, m int, scale Scale, seed uint64) *Workloa
 	return w
 }
 
-// Engine builds a cluster engine on this workload.
+// Engine builds a cluster engine on this workload. Engines with an unset
+// ComputeWorkers that are constructed inside a parallel grid fan-out run
+// their simulated workers serially — the grid already saturates the cores,
+// and stacking a second GOMAXPROCS-wide pool per config would oversubscribe
+// them. Engines built outside a fan-out (single runs) keep the full
+// compute pool. Either way the results are bit-identical.
 func (w *Workload) Engine(cfg cluster.Config) *cluster.Engine {
+	if cfg.ComputeWorkers == 0 && poolBusy() {
+		cfg.ComputeWorkers = 1
+	}
 	e, err := cluster.New(w.Proto, w.Shards, w.Train, w.Test, w.Delay, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: engine construction failed: %v", err))

@@ -7,11 +7,36 @@ import (
 	"repro/internal/tensor"
 )
 
+// Scratch arena: every layer owns the matrices it returns from Forward and
+// Backward and reuses them across calls, so the training hot path performs
+// no per-step allocations once buffers reach the largest batch size seen.
+// The ownership rule is: one arena per layer instance, layer instances
+// belong to exactly one Network, and a Network is NOT goroutine-safe — each
+// simulated worker clones the network, so arenas never race. Returned
+// matrices are valid until the layer's next Forward/Backward call; callers
+// that need to retain results must copy them.
+
+// ensureMat returns a rows x cols matrix backed by *m's storage when its
+// capacity allows, growing it otherwise. Contents are stale: callers must
+// overwrite (or zero) every element before exposing the matrix.
+func ensureMat(m **tensor.Matrix, rows, cols int) *tensor.Matrix {
+	need := rows * cols
+	if *m == nil || cap((*m).Data) < need {
+		*m = tensor.NewMatrix(rows, cols)
+		return *m
+	}
+	(*m).Rows, (*m).Cols = rows, cols
+	(*m).Data = (*m).Data[:need]
+	return *m
+}
+
 // Dense is a fully connected layer: out = in*W^T + b, with W stored
 // row-major (out x in) followed by b (out) in the parameter slice.
 type Dense struct {
 	in, out int
 	lastIn  *tensor.Matrix // forward cache
+
+	outBuf, dInBuf *tensor.Matrix // scratch arena
 }
 
 // NewDense creates a Dense layer mapping in -> out features.
@@ -52,8 +77,8 @@ func (d *Dense) Forward(params []float64, in *tensor.Matrix) *tensor.Matrix {
 	d.lastIn = in
 	w := d.weights(params)
 	bias := params[d.out*d.in:]
-	out := tensor.NewMatrix(in.Rows, d.out)
-	tensor.GemmTB(1, in, w, 0, out) // out = in * W^T
+	out := ensureMat(&d.outBuf, in.Rows, d.out)
+	tensor.GemmTB(1, in, w, 0, out) // out = in * W^T (beta=0 overwrites)
 	for i := 0; i < out.Rows; i++ {
 		tensor.Axpy(1, bias, out.Row(i))
 	}
@@ -70,8 +95,8 @@ func (d *Dense) Backward(params []float64, dOut *tensor.Matrix, dParams []float6
 	for i := 0; i < dOut.Rows; i++ {
 		tensor.Axpy(1, dOut.Row(i), dB)
 	}
-	dIn := tensor.NewMatrix(dOut.Rows, d.in)
-	tensor.Gemm(1, dOut, w, 0, dIn)
+	dIn := ensureMat(&d.dInBuf, dOut.Rows, d.in)
+	tensor.Gemm(1, dOut, w, 0, dIn) // beta=0 overwrites
 	return dIn
 }
 
@@ -82,6 +107,8 @@ func (d *Dense) Clone() Layer { return NewDense(d.in, d.out) }
 type ReLU struct {
 	dim     int
 	lastOut *tensor.Matrix
+
+	outBuf, dInBuf *tensor.Matrix // scratch arena
 }
 
 // NewReLU creates a ReLU over vectors of the given length.
@@ -101,10 +128,12 @@ func (l *ReLU) Init([]float64, *rng.Rand) {}
 
 // Forward implements Layer.
 func (l *ReLU) Forward(_ []float64, in *tensor.Matrix) *tensor.Matrix {
-	out := tensor.NewMatrix(in.Rows, in.Cols)
+	out := ensureMat(&l.outBuf, in.Rows, in.Cols)
 	for i, v := range in.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	l.lastOut = out
@@ -113,10 +142,12 @@ func (l *ReLU) Forward(_ []float64, in *tensor.Matrix) *tensor.Matrix {
 
 // Backward implements Layer.
 func (l *ReLU) Backward(_ []float64, dOut *tensor.Matrix, _ []float64) *tensor.Matrix {
-	dIn := tensor.NewMatrix(dOut.Rows, dOut.Cols)
+	dIn := ensureMat(&l.dInBuf, dOut.Rows, dOut.Cols)
 	for i, v := range l.lastOut.Data {
 		if v > 0 {
 			dIn.Data[i] = dOut.Data[i]
+		} else {
+			dIn.Data[i] = 0
 		}
 	}
 	return dIn
@@ -129,6 +160,8 @@ func (l *ReLU) Clone() Layer { return NewReLU(l.dim) }
 type Tanh struct {
 	dim     int
 	lastOut *tensor.Matrix
+
+	outBuf, dInBuf *tensor.Matrix // scratch arena
 }
 
 // NewTanh creates a Tanh over vectors of the given length.
@@ -148,7 +181,7 @@ func (l *Tanh) Init([]float64, *rng.Rand) {}
 
 // Forward implements Layer.
 func (l *Tanh) Forward(_ []float64, in *tensor.Matrix) *tensor.Matrix {
-	out := tensor.NewMatrix(in.Rows, in.Cols)
+	out := ensureMat(&l.outBuf, in.Rows, in.Cols)
 	for i, v := range in.Data {
 		out.Data[i] = math.Tanh(v)
 	}
@@ -158,7 +191,7 @@ func (l *Tanh) Forward(_ []float64, in *tensor.Matrix) *tensor.Matrix {
 
 // Backward implements Layer.
 func (l *Tanh) Backward(_ []float64, dOut *tensor.Matrix, _ []float64) *tensor.Matrix {
-	dIn := tensor.NewMatrix(dOut.Rows, dOut.Cols)
+	dIn := ensureMat(&l.dInBuf, dOut.Rows, dOut.Cols)
 	for i, y := range l.lastOut.Data {
 		dIn.Data[i] = dOut.Data[i] * (1 - y*y)
 	}
@@ -174,8 +207,13 @@ func (l *Tanh) Clone() Layer { return NewTanh(l.dim) }
 type Conv2D struct {
 	shape   tensor.ConvShape
 	filters int
-	// forward caches: one lowered-patches matrix per batch row
-	patches []*tensor.Matrix
+	// patches is the forward cache: the lowered-patches matrices of every
+	// batch row, stacked vertically (batch*P rows x PatchLen cols) in one
+	// reused buffer instead of one Clone per sample per call.
+	patches *tensor.Matrix
+
+	outBuf, dInBuf               *tensor.Matrix // scratch arena
+	prodBuf, dProdBuf, dPatchBuf *tensor.Matrix
 }
 
 // NewConv2D creates a convolution from the given input shape to `filters`
@@ -223,6 +261,17 @@ func (c *Conv2D) kernelMatrix(params []float64) *tensor.Matrix {
 		Data: params[:c.filters*c.shape.PatchLen()]}
 }
 
+// samplePatches returns the lowered-patches view of batch row i inside the
+// stacked patches buffer. The returned header is written into view to keep
+// the hot path allocation-free.
+func (c *Conv2D) samplePatches(view *tensor.Matrix, i int) *tensor.Matrix {
+	p := c.shape.OutHeight() * c.shape.OutWidth()
+	pl := c.shape.PatchLen()
+	view.Rows, view.Cols = p, pl
+	view.Data = c.patches.Data[i*p*pl : (i+1)*p*pl]
+	return view
+}
+
 // Forward implements Layer. Output rows are channel-major flattened images
 // of shape (filters, outH, outW).
 func (c *Conv2D) Forward(params []float64, in *tensor.Matrix) *tensor.Matrix {
@@ -230,14 +279,14 @@ func (c *Conv2D) Forward(params []float64, in *tensor.Matrix) *tensor.Matrix {
 	bias := params[c.filters*c.shape.PatchLen():]
 	outH, outW := c.shape.OutHeight(), c.shape.OutWidth()
 	p := outH * outW
-	out := tensor.NewMatrix(in.Rows, c.filters*p)
-	c.patches = make([]*tensor.Matrix, in.Rows)
-	lowered := tensor.NewMatrix(p, c.shape.PatchLen())
-	prod := tensor.NewMatrix(p, c.filters)
+	out := ensureMat(&c.outBuf, in.Rows, c.filters*p)
+	ensureMat(&c.patches, in.Rows*p, c.shape.PatchLen())
+	prod := ensureMat(&c.prodBuf, p, c.filters)
+	var lowered tensor.Matrix
 	for i := 0; i < in.Rows; i++ {
-		tensor.Im2Col(c.shape, in.Row(i), lowered)
-		c.patches[i] = lowered.Clone()
-		tensor.GemmTB(1, lowered, w, 0, prod) // (P x F)
+		c.samplePatches(&lowered, i)
+		tensor.Im2Col(c.shape, in.Row(i), &lowered)
+		tensor.GemmTB(1, &lowered, w, 0, prod) // (P x F), beta=0 overwrites
 		dst := out.Row(i)
 		for f := 0; f < c.filters; f++ {
 			b := bias[f]
@@ -257,9 +306,11 @@ func (c *Conv2D) Backward(params []float64, dOut *tensor.Matrix, dParams []float
 	dB := dParams[c.filters*c.shape.PatchLen():]
 	outH, outW := c.shape.OutHeight(), c.shape.OutWidth()
 	p := outH * outW
-	dIn := tensor.NewMatrix(dOut.Rows, c.InDim())
-	dProd := tensor.NewMatrix(p, c.filters)
-	dPatches := tensor.NewMatrix(p, c.shape.PatchLen())
+	dIn := ensureMat(&c.dInBuf, dOut.Rows, c.InDim())
+	tensor.Zero(dIn.Data) // Col2Im scatter-adds into dIn rows
+	dProd := ensureMat(&c.dProdBuf, p, c.filters)
+	dPatches := ensureMat(&c.dPatchBuf, p, c.shape.PatchLen())
+	var patches tensor.Matrix
 	for i := 0; i < dOut.Rows; i++ {
 		src := dOut.Row(i)
 		for f := 0; f < c.filters; f++ {
@@ -270,8 +321,8 @@ func (c *Conv2D) Backward(params []float64, dOut *tensor.Matrix, dParams []float
 			}
 		}
 		// dW += dProd^T * patches ; dPatches = dProd * W.
-		tensor.GemmTA(1, dProd, c.patches[i], 1, dW)
-		tensor.Gemm(1, dProd, w, 0, dPatches)
+		tensor.GemmTA(1, dProd, c.samplePatches(&patches, i), 1, dW)
+		tensor.Gemm(1, dProd, w, 0, dPatches) // beta=0 overwrites
 		tensor.Col2Im(c.shape, dPatches, dIn.Row(i))
 	}
 	return dIn
@@ -286,7 +337,11 @@ func (c *Conv2D) Clone() Layer {
 // non-overlapping 2x2 windows. Height and width must be even.
 type MaxPool2x2 struct {
 	channels, height, width int
-	argmax                  [][]int // per batch row, per output element: input index
+	// argmax records, for every batch row and output element, the winning
+	// input index: row i's entries live at [i*OutDim(), (i+1)*OutDim()).
+	argmax []int
+
+	outBuf, dInBuf *tensor.Matrix // scratch arena
 }
 
 // NewMaxPool2x2 creates the pooling layer for the given input image shape.
@@ -317,12 +372,16 @@ func (m *MaxPool2x2) Init([]float64, *rng.Rand) {}
 // Forward implements Layer.
 func (m *MaxPool2x2) Forward(_ []float64, in *tensor.Matrix) *tensor.Matrix {
 	oh, ow := m.height/2, m.width/2
-	out := tensor.NewMatrix(in.Rows, m.channels*oh*ow)
-	m.argmax = make([][]int, in.Rows)
+	out := ensureMat(&m.outBuf, in.Rows, m.channels*oh*ow)
+	if need := in.Rows * m.OutDim(); cap(m.argmax) < need {
+		m.argmax = make([]int, need)
+	} else {
+		m.argmax = m.argmax[:need]
+	}
 	for i := 0; i < in.Rows; i++ {
 		src := in.Row(i)
 		dst := out.Row(i)
-		am := make([]int, len(dst))
+		am := m.argmax[i*m.OutDim() : (i+1)*m.OutDim()]
 		for ch := 0; ch < m.channels; ch++ {
 			base := ch * m.height * m.width
 			obase := ch * oh * ow
@@ -341,18 +400,18 @@ func (m *MaxPool2x2) Forward(_ []float64, in *tensor.Matrix) *tensor.Matrix {
 				}
 			}
 		}
-		m.argmax[i] = am
 	}
 	return out
 }
 
 // Backward implements Layer.
 func (m *MaxPool2x2) Backward(_ []float64, dOut *tensor.Matrix, _ []float64) *tensor.Matrix {
-	dIn := tensor.NewMatrix(dOut.Rows, m.InDim())
+	dIn := ensureMat(&m.dInBuf, dOut.Rows, m.InDim())
+	tensor.Zero(dIn.Data) // gradients scatter-add into the argmax winners
 	for i := 0; i < dOut.Rows; i++ {
 		src := dOut.Row(i)
 		dst := dIn.Row(i)
-		for o, idx := range m.argmax[i] {
+		for o, idx := range m.argmax[i*m.OutDim() : (i+1)*m.OutDim()] {
 			dst[idx] += src[o]
 		}
 	}
@@ -370,6 +429,8 @@ type Residual struct {
 	// parameter slicing within the residual's own parameter block
 	offsets []int
 	total   int
+
+	outBuf, dInBuf *tensor.Matrix // scratch arena
 }
 
 // NewResidual builds a residual block around the inner layers.
@@ -414,7 +475,7 @@ func (r *Residual) Forward(params []float64, in *tensor.Matrix) *tensor.Matrix {
 	for i, l := range r.inner {
 		cur = l.Forward(params[r.offsets[i]:r.offsets[i]+l.ParamLen()], cur)
 	}
-	out := tensor.NewMatrix(in.Rows, in.Cols)
+	out := ensureMat(&r.outBuf, in.Rows, in.Cols)
 	tensor.Add(out.Data, in.Data, cur.Data)
 	return out
 }
@@ -427,7 +488,7 @@ func (r *Residual) Backward(params []float64, dOut *tensor.Matrix, dParams []flo
 		cur = l.Backward(params[r.offsets[i]:r.offsets[i]+l.ParamLen()],
 			cur, dParams[r.offsets[i]:r.offsets[i]+l.ParamLen()])
 	}
-	dIn := tensor.NewMatrix(dOut.Rows, dOut.Cols)
+	dIn := ensureMat(&r.dInBuf, dOut.Rows, dOut.Cols)
 	tensor.Add(dIn.Data, dOut.Data, cur.Data) // skip path + inner path
 	return dIn
 }

@@ -24,8 +24,11 @@ import (
 )
 
 // Layer is one differentiable stage of a network. A layer owns forward
-// caches (it is NOT safe for concurrent use); each simulated worker clones
-// the network so the caches never race.
+// caches AND the scratch matrices it returns from Forward/Backward (it is
+// NOT safe for concurrent use); each simulated worker clones the network so
+// the caches never race. Returned matrices are reused across calls: they
+// remain valid only until the layer's next Forward/Backward, and callers
+// that retain results must copy them.
 type Layer interface {
 	// InDim and OutDim are the flattened input/output lengths per example.
 	InDim() int
@@ -64,6 +67,8 @@ type Network struct {
 	params  []float64
 	loss    Loss
 	classes int // >0 when the network is a classifier
+
+	dOutBuf *tensor.Matrix // scratch for the loss gradient in LossGrad
 }
 
 // NewNetwork builds a network from layers and a loss, validating that
@@ -146,7 +151,7 @@ func (n *Network) LossGrad(b data.Batch, grad []float64) float64 {
 	}
 	tensor.Zero(grad)
 	out := n.Forward(b.X)
-	dOut := tensor.NewMatrix(out.Rows, out.Cols)
+	dOut := ensureMat(&n.dOutBuf, out.Rows, out.Cols)
 	lossVal := n.loss.Eval(out, b, dOut)
 	cur := dOut
 	for i := len(n.layers) - 1; i >= 0; i-- {

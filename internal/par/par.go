@@ -1,0 +1,43 @@
+// Package par provides the deterministic fan-out primitive shared by the
+// training engine's compute pool (internal/cluster) and the experiment
+// grids (internal/experiments): run n independent index-addressed tasks
+// across a bounded goroutine pool.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), at most width at a time; width
+// <= 1 (or n <= 1) degrades to a plain serial loop. fn must only touch
+// state owned by (or indexed to) its own i — under that contract the
+// goroutine schedule is unobservable, so parallel runs produce bit-identical
+// results to serial ones.
+func ForEach(n, width int, fn func(i int)) {
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < width; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,34 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, width := range []int{0, 1, 3, 8, 100} {
+		for _, n := range []int{0, 1, 7, 64} {
+			counts := make([]int64, n)
+			ForEach(n, width, func(i int) { atomic.AddInt64(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("width=%d n=%d: index %d ran %d times", width, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	// width <= 1 must be a plain in-order loop (the legacy serial path).
+	var got []int
+	ForEach(5, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial order broken: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d of 5", len(got))
+	}
+}

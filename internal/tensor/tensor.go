@@ -134,8 +134,13 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// BLAS semantics for the beta parameter of the Gem* kernels: beta == 0
+// means "overwrite the destination", NOT "scale it by zero". The
+// distinction matters because 0 * NaN = NaN — a destination holding stale
+// NaN/Inf (e.g. a reused scratch buffer) must not poison the result.
+
 // Gemv computes y = alpha*A*x + beta*y for a row-major A (Rows x Cols),
-// len(x) == Cols, len(y) == Rows.
+// len(x) == Cols, len(y) == Rows. beta == 0 overwrites y.
 func Gemv(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("tensor: Gemv dimension mismatch")
@@ -146,16 +151,23 @@ func Gemv(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
 		for j, v := range row {
 			s += v * x[j]
 		}
-		y[i] = alpha*s + beta*y[i]
+		if beta == 0 {
+			y[i] = alpha * s
+		} else {
+			y[i] = alpha*s + beta*y[i]
+		}
 	}
 }
 
 // GemvT computes y = alpha*A^T*x + beta*y, len(x) == Rows, len(y) == Cols.
+// beta == 0 overwrites y.
 func GemvT(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
 	if len(x) != a.Rows || len(y) != a.Cols {
 		panic("tensor: GemvT dimension mismatch")
 	}
-	if beta != 1 {
+	if beta == 0 {
+		Zero(y)
+	} else if beta != 1 {
 		for j := range y {
 			y[j] *= beta
 		}
@@ -174,11 +186,14 @@ func GemvT(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
 
 // Gemm computes C = alpha*A*B + beta*C. A is (M x K), B is (K x N),
 // C is (M x N). The k-inner ordering keeps B accesses sequential.
+// beta == 0 overwrites C.
 func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic("tensor: Gemm dimension mismatch")
 	}
-	if beta != 1 {
+	if beta == 0 {
+		Zero(c.Data)
+	} else if beta != 1 {
 		for i := range c.Data {
 			c.Data[i] *= beta
 		}
@@ -200,12 +215,14 @@ func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 }
 
 // GemmTA computes C = alpha*A^T*B + beta*C. A is (K x M), B is (K x N),
-// C is (M x N).
+// C is (M x N). beta == 0 overwrites C.
 func GemmTA(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic("tensor: GemmTA dimension mismatch")
 	}
-	if beta != 1 {
+	if beta == 0 {
+		Zero(c.Data)
+	} else if beta != 1 {
 		for i := range c.Data {
 			c.Data[i] *= beta
 		}
@@ -227,7 +244,7 @@ func GemmTA(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 }
 
 // GemmTB computes C = alpha*A*B^T + beta*C. A is (M x K), B is (N x K),
-// C is (M x N).
+// C is (M x N). beta == 0 overwrites C.
 func GemmTB(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic("tensor: GemmTB dimension mismatch")
@@ -237,7 +254,11 @@ func GemmTB(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 		crow := c.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			s := Dot(arow, b.Row(j))
-			crow[j] = alpha*s + beta*crow[j]
+			if beta == 0 {
+				crow[j] = alpha * s
+			} else {
+				crow[j] = alpha*s + beta*crow[j]
+			}
 		}
 	}
 }

@@ -356,3 +356,90 @@ func TestMeanIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: beta == 0 must OVERWRITE the destination (BLAS semantics),
+// not scale it by zero — 0 * NaN = NaN, so stale NaN/Inf in a reused
+// destination buffer would otherwise poison every product written into it.
+func TestGemmBetaZeroOverwritesStaleNaN(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(3, 2)
+	bt := NewMatrix(2, 3) // B^T operand for GemmTB
+	at := NewMatrix(3, 2) // A^T operand for GemmTA
+	for i := range a.Data {
+		a.Data[i] = float64(i + 1)
+		bt.Data[i] = float64(i + 2)
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(i + 2)
+		at.Data[i] = float64(i + 1)
+	}
+
+	poison := func(m *Matrix) {
+		for i := range m.Data {
+			if i%2 == 0 {
+				m.Data[i] = math.NaN()
+			} else {
+				m.Data[i] = math.Inf(1)
+			}
+		}
+	}
+	check := func(name string, got, want *Matrix) {
+		t.Helper()
+		for i := range got.Data {
+			if math.IsNaN(got.Data[i]) || math.IsInf(got.Data[i], 0) {
+				t.Fatalf("%s: stale poison survived beta=0 at %d: %v", name, i, got.Data[i])
+			}
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%s: element %d = %v, want %v", name, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+
+	clean := NewMatrix(2, 2)
+	Gemm(1, a, b, 0, clean)
+	dirty := NewMatrix(2, 2)
+	poison(dirty)
+	Gemm(1, a, b, 0, dirty)
+	check("Gemm", dirty, clean)
+
+	cleanTB := NewMatrix(2, 2)
+	GemmTB(1, a, bt, 0, cleanTB)
+	poison(dirty)
+	GemmTB(1, a, bt, 0, dirty)
+	check("GemmTB", dirty, cleanTB)
+
+	cleanTA := NewMatrix(2, 2)
+	GemmTA(1, at, b, 0, cleanTA)
+	poison(dirty)
+	GemmTA(1, at, b, 0, dirty)
+	check("GemmTA", dirty, cleanTA)
+}
+
+// Regression: the same overwrite-on-beta-0 contract for the matrix-vector
+// kernels.
+func TestGemvBetaZeroOverwritesStaleNaN(t *testing.T) {
+	a := NewMatrix(2, 3)
+	for i := range a.Data {
+		a.Data[i] = float64(i + 1)
+	}
+	x3 := []float64{1, 2, 3}
+	x2 := []float64{1, 2}
+
+	y := []float64{math.NaN(), math.Inf(-1)}
+	Gemv(1, a, x3, 0, y)
+	want := []float64{1*1 + 2*2 + 3*3, 4*1 + 5*2 + 6*3}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Gemv y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+
+	yt := []float64{math.NaN(), math.Inf(1), math.NaN()}
+	GemvT(1, a, x2, 0, yt)
+	wantT := []float64{1*1 + 4*2, 2*1 + 5*2, 3*1 + 6*2}
+	for i := range yt {
+		if yt[i] != wantT[i] {
+			t.Fatalf("GemvT y[%d] = %v, want %v", i, yt[i], wantT[i])
+		}
+	}
+}
