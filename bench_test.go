@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/delaymodel"
 	"repro/internal/experiments"
@@ -249,6 +250,44 @@ func BenchmarkPASGDRound(b *testing.B) { benchPASGDRound(b, 1) }
 // fanned across 4 goroutines — bit-identical results; wall-clock gains
 // require as many free cores.
 func BenchmarkPASGDRoundPool4(b *testing.B) { benchPASGDRound(b, 4) }
+
+// Strategy-round benchmarks: one gossip/elastic synchronization (10 local
+// steps + SyncNow), raw and compressed. These pin the per-sync allocation
+// behavior of the mixing strategies — their scratch is engine-owned, so
+// steady-state rounds must stay allocation-free like the full-averaging
+// round above.
+func benchStrategyRound(b *testing.B, strat cluster.Strategy, spec compress.Spec) {
+	b.Helper()
+	w := experiments.BuildWorkload(experiments.ArchLogistic, 4, 4, experiments.ScaleQuick, 3)
+	e := w.Engine(cluster.Config{
+		BatchSize: 8, MaxIters: 1 << 30, EvalEvery: 1 << 30,
+		ComputeWorkers: 1, Strategy: strat, Compress: spec, Seed: 4,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.StepLocal(10, 0.1)
+		e.SyncNow()
+	}
+}
+
+func BenchmarkRingGossipRound(b *testing.B) {
+	benchStrategyRound(b, cluster.RingGossip, compress.Spec{})
+}
+
+func BenchmarkRingGossipRoundCompressed(b *testing.B) {
+	benchStrategyRound(b, cluster.RingGossip,
+		compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true})
+}
+
+func BenchmarkElasticRound(b *testing.B) {
+	benchStrategyRound(b, cluster.ElasticAveraging, compress.Spec{})
+}
+
+func BenchmarkElasticRoundCompressed(b *testing.B) {
+	benchStrategyRound(b, cluster.ElasticAveraging,
+		compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true})
+}
 
 func BenchmarkRuntimeSampling(b *testing.B) {
 	dm := delaymodel.New(16, rng.Exponential{MeanVal: 1}, rng.Constant{Value: 1},

@@ -12,6 +12,7 @@
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -topology tree
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -links "0:,0:,0:,0:25.6"
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -links "0:,0:,0:,0:25.6" -link-aware
+//	adacomm -arch logistic -method fixed -tau 5 -strategy ring -compress topk:0.1 -gossip-gamma 0.5
 package main
 
 import (
@@ -58,6 +59,10 @@ func main() {
 			"(empty part = inherit; e.g. \"0:,0:,0:,0:25.6\" makes the last worker's link slow)")
 	linkAware := flag.Bool("link-aware", false,
 		"with -method adacomm: scale tau by the observed comm/compute ratio (slow links hold tau higher)")
+	strategyFlag := flag.String("strategy", "full",
+		"synchronization strategy: full | ring | elastic (ring + -compress runs CHOCO-SGD gossip)")
+	gossipGamma := flag.Float64("gossip-gamma", 0,
+		"CHOCO consensus step size in (0,1] for -strategy ring with -compress (0 = default 1)")
 	flag.Parse()
 
 	spec, err := compress.ParseSpec(*compressFlag)
@@ -91,6 +96,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
 		os.Exit(2)
 	}
+	strategy, err := cluster.ParseStrategy(*strategyFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(2)
+	}
 
 	scale := experiments.ScaleFull
 	if *quick {
@@ -120,11 +130,21 @@ func main() {
 		EvalEvery:     100,
 		EvalSubset:    512,
 		AccEverySync:  5,
+		Strategy:      strategy,
+		GossipGamma:   *gossipGamma,
 		Compress:      spec,
 		Topology:      topology,
 		Seed:          *seed + 1,
 	}
-	engine := w.Engine(cfg)
+	// Construct directly (not via experiments.Workload.Engine, which
+	// panics): invalid flag combinations — a gossip gamma without a ring,
+	// a topology or block momentum with a non-full strategy — surface as
+	// cluster validation errors and must exit like any other bad flag.
+	engine, err := cluster.New(w.Proto, w.Shards, w.Train, w.Test, w.Delay, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(2)
+	}
 
 	var ctrl cluster.Controller
 	switch *method {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/nn"
@@ -130,6 +131,21 @@ func pasgdSetup(computeWorkers int) func() {
 	}
 }
 
+// strategySetup times one gossip/elastic round (10 local steps + sync), raw
+// or compressed; the strategies' per-sync scratch is engine-owned, so the
+// steady state must stay allocation-free like the full-averaging round.
+func strategySetup(strat cluster.Strategy, spec compress.Spec) func() {
+	w := experiments.BuildWorkload(experiments.ArchLogistic, 4, 4, experiments.ScaleQuick, 3)
+	e := w.Engine(cluster.Config{
+		BatchSize: 8, MaxIters: 1 << 30, EvalEvery: 1 << 30,
+		ComputeWorkers: 1, Strategy: strat, Compress: spec, Seed: 4,
+	})
+	return func() {
+		e.StepLocal(10, 0.1)
+		e.SyncNow()
+	}
+}
+
 // fig9Setup regenerates the quick Fig 9 comparison with the given
 // experiment-pool width. The serial variant (workers == 1) also pins the
 // engines' ComputeWorkers to 1 so it is serial END TO END — otherwise each
@@ -168,6 +184,20 @@ func main() {
 		{"StepResNetNano", 0, func() func() { return stepSetup(nn.NewResNetNano(shape, 4), shape.Len()) }},
 		{"PASGDRound/serial", 0, func() func() { return pasgdSetup(1) }},
 		{"PASGDRound/pool4", 0, func() func() { return pasgdSetup(4) }},
+		{"RingGossipRound/raw", 0, func() func() {
+			return strategySetup(cluster.RingGossip, compress.Spec{})
+		}},
+		{"RingGossipRound/choco", 0, func() func() {
+			return strategySetup(cluster.RingGossip,
+				compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true})
+		}},
+		{"ElasticRound/raw", 0, func() func() {
+			return strategySetup(cluster.ElasticAveraging, compress.Spec{})
+		}},
+		{"ElasticRound/compressed", 0, func() func() {
+			return strategySetup(cluster.ElasticAveraging,
+				compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true})
+		}},
 		// Fig9Quick is an end-to-end figure regeneration (seconds per op);
 		// 2 iterations bound the total runtime.
 		{"Fig9Quick/serial", 2, func() func() { return fig9Setup(1) }},

@@ -48,6 +48,8 @@ func main() {
 		"per-link bandwidth in bytes per simulated second for -bytes pricing (0 = infinite)")
 	workers := flag.Int("workers", 0,
 		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
+	gossip := flag.Bool("gossip", false,
+		"run the gossip-compression ablation grid (CHOCO ring vs shared-reference averaging) instead of the paper figures")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -68,6 +70,18 @@ func main() {
 		scale = experiments.ScaleQuick
 	}
 	out := os.Stdout
+	if *gossip {
+		if *fig != 0 || *table != 0 || *bytes != 0 || *csvDir != "" {
+			fmt.Fprintln(os.Stderr, "figures: -gossip runs only the gossip grid; it cannot combine with -fig/-table/-bytes/-csv")
+			os.Exit(2)
+		}
+		spec := experiments.DefaultGossipGrid(scale)
+		if *bandwidth > 0 {
+			spec.Bandwidth = *bandwidth
+		}
+		experiments.PrintGossipGrid(out, experiments.RunGossipGrid(spec))
+		return
+	}
 	all := *fig == 0 && *table == 0
 
 	dump := func(name string, cmp *experiments.Comparison) {

@@ -10,6 +10,7 @@
 //	sweep -ablation coupling # none vs sqrt vs full under LR decay
 //	sweep -ablation t0       # interval length sensitivity
 //	sweep -ablation delay    # constant vs exponential vs Pareto Y
+//	sweep -ablation gossip   # CHOCO ring gossip vs shared-reference averaging
 //	sweep -ablation all
 //
 // Grid cells are independent configurations and run concurrently on the
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | all")
+	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | all")
 	quick := flag.Bool("quick", false, "use reduced sizes")
 	workers := flag.Int("workers", 0,
 		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
@@ -69,6 +70,10 @@ func main() {
 	}
 	if all || *which == "delay" {
 		experiments.PrintDelayAblation(out, experiments.DelayAblation(scale))
+		fmt.Fprintln(out)
+	}
+	if all || *which == "gossip" {
+		experiments.PrintGossipGrid(out, experiments.RunGossipGrid(experiments.DefaultGossipGrid(scale)))
 		fmt.Fprintln(out)
 	}
 }

@@ -20,6 +20,19 @@
 // compression grid in internal/experiments for the error-runtime payoff on
 // bandwidth-constrained links.
 //
+// Compressed decentralized training is CHOCO-SGD (Koloskova et al. 2019):
+// under ring gossip, every node keeps estimate vectors x̂_j of itself and
+// its ring neighbors, updated ONLY by the compressed messages
+// q_j = C(x_j - x̂_j) that cross the wire, and mixes toward the
+// neighborhood estimate average with consensus step
+// cluster.Config.GossipGamma — no node ever reads state it could not have
+// reconstructed from its own traffic (an invariant test hides the replicas
+// behind an interface that panics on out-of-band reads). Lossless
+// compression reproduces raw ring gossip bit for bit; the gossip-compression
+// ablation (cmd/figures -gossip, cmd/sweep -ablation gossip) quantifies
+// CHOCO against the shared-reference centralized baseline at several ring
+// sizes and keep-ratios.
+//
 // All model/gradient exchange routes through the unified communication
 // layer in internal/comm: a Communicator (AllReduce / Push / Pull with
 // per-message payload accounting) whose aggregation hot path index-merges

@@ -1,7 +1,9 @@
-// Compression: train PASGD over a bandwidth-constrained link three ways —
-// dense broadcasts, fixed top-k sparsification with error feedback, and the
-// joint AdaComm controller that adapts (tau, compression ratio) together —
-// and compare the simulated wall-clock each needs to reach the same loss.
+// Compression: train PASGD over a bandwidth-constrained link four ways —
+// dense broadcasts, fixed top-k sparsification with error feedback, the
+// joint AdaComm controller that adapts (tau, compression ratio) together,
+// and fully decentralized CHOCO-SGD ring gossip (compressed messages only,
+// per-neighbor estimates, no shared reference) — and compare the simulated
+// wall-clock each needs to reach the same loss.
 //
 //	go run ./examples/compression
 package main
@@ -48,14 +50,12 @@ func main() {
 	fmt.Printf("dense broadcast: %.2f sim-s, one local step: %.2f sim-s\n\n",
 		dm.MeanDBytes(8*proto.ParamLen()), dm.MeanY())
 
-	run := func(name string, spec compress.Spec, ctrl cluster.Controller) *metrics.Trace {
-		e, err := cluster.New(proto, shards, train, test, dm, cluster.Config{
-			BatchSize: 8,
-			MaxTime:   budget,
-			EvalEvery: 100,
-			Compress:  spec,
-			Seed:      seed + 1,
-		})
+	run := func(name string, cfg cluster.Config, ctrl cluster.Controller) *metrics.Trace {
+		cfg.BatchSize = 8
+		cfg.MaxTime = budget
+		cfg.EvalEvery = 100
+		cfg.Seed = seed + 1
+		e, err := cluster.New(proto, shards, train, test, dm, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -67,26 +67,37 @@ func main() {
 	}
 
 	sched := sgd.Const{Eta: 0.1}
-	dense := run("dense tau=5", compress.Spec{}, cluster.FixedTau{Tau: 5, Schedule: sched})
+	dense := run("dense tau=5", cluster.Config{}, cluster.FixedTau{Tau: 5, Schedule: sched})
 	topk := run("topk(0.25)+ef tau=5",
-		compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true},
+		cluster.Config{Compress: compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true}},
 		cluster.FixedTau{Tau: 5, Schedule: sched})
 	joint := run("adaptive (tau, ratio)",
-		compress.Spec{Kind: compress.KindTopK, Ratio: 0.1, ErrorFeedback: true},
+		cluster.Config{Compress: compress.Spec{Kind: compress.KindTopK, Ratio: 0.1, ErrorFeedback: true}},
 		core.NewAdaCommCompress(
 			core.Config{Tau0: 16, Interval: budget / 10, Schedule: sched},
 			core.CompressSchedule{Ratio0: 0.1}))
+	// CHOCO-SGD: fully decentralized ring gossip where every quantity is
+	// derivable from the compressed messages alone — each node keeps
+	// estimates of its ring neighbors, updated only by what crosses the
+	// wire, and mixes toward them with consensus step gamma.
+	choco := run("choco ring topk(0.25)",
+		cluster.Config{
+			Strategy:    cluster.RingGossip,
+			Compress:    compress.Spec{Kind: compress.KindTopK, Ratio: 0.25},
+			GossipGamma: 0.7,
+		},
+		cluster.FixedTau{Tau: 5, Schedule: sched})
 
 	// 3. Compare time-to-target at a loss level every method reaches.
 	worst := dense.MinLoss()
-	for _, tr := range []*metrics.Trace{topk, joint} {
+	for _, tr := range []*metrics.Trace{topk, joint, choco} {
 		if m := tr.MinLoss(); m > worst {
 			worst = m
 		}
 	}
 	target := worst * 1.05
 	fmt.Printf("\ntime to reach loss %.4f:\n", target)
-	for _, tr := range []*metrics.Trace{dense, topk, joint} {
+	for _, tr := range []*metrics.Trace{dense, topk, joint, choco} {
 		fmt.Printf("  %-22s %8.1f sim-s (%.2fx vs dense)\n",
 			tr.Name, tr.TimeToLoss(target), metrics.Speedup(dense, tr, target))
 	}

@@ -117,9 +117,20 @@ type Config struct {
 	// ElasticAveraging (EASGD). Block momentum requires FullAveraging.
 	Strategy Strategy
 	// ElasticAlpha/ElasticBeta are the EASGD pull strengths (defaults 0.5
-	// each when Strategy is ElasticAveraging).
+	// each when Strategy is ElasticAveraging). Explicit values must lie in
+	// (0, 1]; the zero value means "use the default".
 	ElasticAlpha float64
 	ElasticBeta  float64
+
+	// GossipGamma is the consensus step size of compressed (CHOCO-SGD)
+	// ring gossip: each node moves gamma of the way toward its
+	// neighborhood's estimate average, x_i += gamma * sum_j W_ij
+	// (x̂_j - x̂_i). The zero value defaults to 1, which makes lossless
+	// compression reproduce the raw ring mix bit for bit; aggressive lossy
+	// compressors typically want gamma < 1 to damp the estimate noise.
+	// Explicit values must lie in (0, 1] and require RingGossip with
+	// compression enabled.
+	GossipGamma float64
 
 	// Compress selects the delta-compression scheme used at averaging
 	// points (see the package comment). The zero value (compress.None)
@@ -158,6 +169,26 @@ func (c Config) validate(m int) error {
 	if c.BlockMomentum != 0 && c.Strategy != FullAveraging {
 		return fmt.Errorf("cluster: block momentum requires FullAveraging, got %s", c.Strategy)
 	}
+	if c.Strategy == ElasticAveraging {
+		// Like delaymodel.CheckLinks, degenerate coefficients are rejected
+		// instead of silently replaced: a negative or NaN pull strength
+		// would quietly train a different algorithm. Zero stays legal and
+		// keeps the 0.5 default.
+		if err := checkMixCoeff("elastic alpha", c.ElasticAlpha); err != nil {
+			return err
+		}
+		if err := checkMixCoeff("elastic beta", c.ElasticBeta); err != nil {
+			return err
+		}
+	}
+	if c.GossipGamma != 0 {
+		if c.Strategy != RingGossip || !c.Compress.Enabled() {
+			return fmt.Errorf("cluster: gossip gamma %g requires RingGossip with compression", c.GossipGamma)
+		}
+		if math.IsNaN(c.GossipGamma) || c.GossipGamma < 0 || c.GossipGamma > 1 {
+			return fmt.Errorf("cluster: gossip gamma %v out of (0,1]", c.GossipGamma)
+		}
+	}
 	if c.Compress.Enabled() {
 		if err := c.Compress.Validate(); err != nil {
 			return err
@@ -165,6 +196,18 @@ func (c Config) validate(m int) error {
 	}
 	if c.Topology != comm.AllGather && c.Strategy != FullAveraging {
 		return fmt.Errorf("cluster: topology %s requires FullAveraging, got %s", c.Topology, c.Strategy)
+	}
+	return nil
+}
+
+// checkMixCoeff rejects degenerate mixing coefficients: NaN, infinite,
+// negative, or above 1 — a pull strength past 1 overshoots its target, so
+// it would quietly train a different (possibly divergent) algorithm, the
+// same reason GossipGamma is bounded to (0,1]. Zero is legal and means
+// "use the default".
+func checkMixCoeff(name string, v float64) error {
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return fmt.Errorf("cluster: %s %v out of [0,1] (0 uses the default)", name, v)
 	}
 	return nil
 }
@@ -274,6 +317,21 @@ type Engine struct {
 	avgBuf   []float64 // averaging scratch, reused every round
 	dispBuf  []float64 // block-momentum displacement scratch
 
+	// Strategy scratch, engine-owned and reused every sync per the PR-4
+	// arena convention (steady-state rounds allocate nothing): ringSnap
+	// freezes the pre-mix replicas on the raw gossip path, meanVecs feeds
+	// the replica-mean refresh, pullBuf accumulates elastic's center
+	// displacement, repBytes backs the strategies' per-sync transfer
+	// reports, and denseRep is the constant raw-gossip schedule. gossip is
+	// the CHOCO-SGD estimate state of compressed ring gossip.
+	ringSnap [][]float64
+	snapBack []float64
+	meanVecs [][]float64
+	pullBuf  []float64
+	repBytes []int
+	denseRep comm.Report
+	gossip   *gossipState
+
 	evalModel *nn.Network // scratch replica for loss/accuracy evaluation
 	evalSet   *data.Dataset
 	testSet   *data.Dataset
@@ -305,12 +363,17 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 		cfg.EvalEvery = 100
 	}
 	if cfg.Strategy == ElasticAveraging {
-		if cfg.ElasticAlpha <= 0 {
+		// validate already rejected negative/NaN coefficients; only the
+		// zero value reaches the defaulting, bit-identical to before.
+		if cfg.ElasticAlpha == 0 {
 			cfg.ElasticAlpha = 0.5
 		}
-		if cfg.ElasticBeta <= 0 {
+		if cfg.ElasticBeta == 0 {
 			cfg.ElasticBeta = 0.5
 		}
+	}
+	if cfg.Strategy == RingGossip && cfg.Compress.Enabled() && cfg.GossipGamma == 0 {
+		cfg.GossipGamma = 1
 	}
 	root := rng.New(cfg.Seed)
 	e := &Engine{
@@ -386,6 +449,32 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 			e.comps[i] = c
 		}
 		e.deltaBuf = make([]float64, e.dim)
+	}
+	switch cfg.Strategy {
+	case RingGossip:
+		e.meanVecs = make([][]float64, m)
+		if e.comps == nil {
+			e.snapBack = make([]float64, m*e.dim)
+			e.ringSnap = make([][]float64, m)
+			for i := range e.ringSnap {
+				e.ringSnap[i] = e.snapBack[i*e.dim : (i+1)*e.dim]
+			}
+			e.denseRep = comm.DenseReport(m, e.dim)
+		} else {
+			// Identity-kind compressors are lossless dense encodings (an
+			// error-feedback wrap keeps a residual of exactly zero), so
+			// the CHOCO protocol ships the parameters themselves and pins
+			// the estimates exactly; see averageRingChoco.
+			e.repBytes = make([]int, m)
+			e.gossip = newGossipState(m, e.global, cfg.GossipGamma,
+				cfg.Compress.Kind == compress.KindIdentity)
+			for i := range e.gossip.nodes {
+				e.gossip.nodes[i] = e.workers[i].model
+			}
+		}
+	case ElasticAveraging:
+		e.pullBuf = make([]float64, e.dim)
+		e.repBytes = make([]int, m)
 	}
 	return e, nil
 }

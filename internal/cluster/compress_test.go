@@ -140,37 +140,36 @@ func TestCompressionRejectsInvalidSpec(t *testing.T) {
 	}
 }
 
-func TestCompressedRingMatchesFullAveragingOnTriangle(t *testing.T) {
-	// With m = 3 the ring mix (prev + self + next)/3 IS the global mean, and
-	// compressed ring gossip averages the same three reconstructions
-	// global + delta_hat_i that compressed full averaging does — so the two
-	// strategies must synchronize to the same model (up to summation order).
-	for _, spec := range []compress.Spec{
-		{Kind: compress.KindIdentity},
-		{Kind: compress.KindTopK, Ratio: 0.5, ErrorFeedback: true},
-		{Kind: compress.KindQSGD, Bits: 8},
-	} {
-		t.Run(spec.String(), func(t *testing.T) {
-			run := func(strat Strategy) []float64 {
-				s := newSetup(t, 3, 1)
-				cfg := baseCfg()
-				cfg.MaxIters = 200
-				cfg.Strategy = strat
-				cfg.Compress = spec
-				e := s.engine(t, cfg)
-				e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "t")
-				return e.GlobalParams()
-			}
-			full := run(FullAveraging)
-			ring := run(RingGossip)
-			for i := range full {
-				d := full[i] - ring[i]
-				if d < -1e-9 || d > 1e-9 {
-					t.Fatalf("ring diverged from full averaging at param %d: %v vs %v",
-						i, full[i], ring[i])
-				}
-			}
-		})
+func TestChocoRingIdentityMatchesFullAveragingOnTriangle(t *testing.T) {
+	// RECAPTURED REGRESSION (PR 5). The old compressed ring referenced the
+	// exact replica mean — oracle state no decentralized node could
+	// reconstruct — which made every compressor's m = 3 trajectory track
+	// compressed full averaging. CHOCO-SGD's per-node estimates remove that
+	// shared reference, so the "triangle == full averaging" anchor now holds
+	// where it should: with LOSSLESS compression the estimates pin the
+	// replicas exactly, the m = 3 ring mix (prev + self + next)/3 is the
+	// global mean, and the trajectory must agree with compressed full
+	// averaging to float rounding. Lossy compressors are now a genuinely
+	// different (decentralized) algorithm; their behavior is pinned by the
+	// CHOCO tests in choco_test.go and the gossip-compression ablation grid.
+	run := func(strat Strategy) []float64 {
+		s := newSetup(t, 3, 1)
+		cfg := baseCfg()
+		cfg.MaxIters = 200
+		cfg.Strategy = strat
+		cfg.Compress = compress.Spec{Kind: compress.KindIdentity}
+		e := s.engine(t, cfg)
+		e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "t")
+		return e.GlobalParams()
+	}
+	full := run(FullAveraging)
+	ring := run(RingGossip)
+	for i := range full {
+		d := full[i] - ring[i]
+		if d < -1e-9 || d > 1e-9 {
+			t.Fatalf("ring diverged from full averaging at param %d: %v vs %v",
+				i, full[i], ring[i])
+		}
 	}
 }
 

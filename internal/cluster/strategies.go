@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/compress"
 	"repro/internal/tensor"
 )
 
@@ -14,11 +15,20 @@ import (
 // their synchronization period too.
 //
 // Both variants honor Config.Compress and report per-worker payload bytes
-// through the communication layer: ring gossip ships each replica's delta
-// from the last published replica mean to its neighbors, elastic averaging
-// ships each replica's displacement from the center. Their rounds keep the
-// legacy single-overlapped-hop pricing (Config.Topology is rejected for
-// them), so only the message sizes — not hop multipliers — differ from full
+// through the communication layer. Compressed ring gossip is CHOCO-SGD
+// (Koloskova et al. 2019): every node i maintains estimate vectors x̂_j for
+// itself and its ring neighbors, updated ONLY by applying the compressed
+// messages q_j = C(x_j - x̂_j) that travel the wire, and mixes via
+//
+//	x_i <- x_i + gamma * sum_j W_ij (x̂_j - x̂_i)
+//
+// with the uniform ring mixing matrix W and the consensus step size
+// Config.GossipGamma. No quantity in the algorithm requires state a real
+// decentralized node could not reconstruct from its own messages — there is
+// no shared reference vector. Elastic averaging ships each replica's
+// displacement from the center. Their rounds keep the legacy
+// single-overlapped-hop pricing (Config.Topology is rejected for them), so
+// only the message sizes — not hop multipliers — differ from full
 // averaging. With compression disabled they take the legacy raw paths, bit
 // for bit.
 type Strategy int
@@ -27,9 +37,12 @@ const (
 	// FullAveraging is PASGD's all-node model average (paper eq 3).
 	FullAveraging Strategy = iota
 	// RingGossip is decentralized averaging on a ring: each worker mixes
-	// with its two neighbors, x_i <- (x_{i-1} + x_i + x_{i+1}) / 3. No
-	// global model exists; evaluation uses the replica mean, matching the
-	// "averaged model" convention of decentralized-SGD analyses.
+	// with its two neighbors, x_i <- (x_{i-1} + x_i + x_{i+1}) / 3 (at
+	// m = 2 the single neighbor appears once: x_i <- (x_i + x_other) / 2).
+	// No global model exists; evaluation uses the replica mean — or, under
+	// compression, the mean of the wire-reconstructed CHOCO estimates —
+	// matching the "averaged model" convention of decentralized-SGD
+	// analyses.
 	RingGossip
 	// ElasticAveraging keeps a center variable z: at each sync, workers
 	// are pulled toward z with strength alpha and z moves toward the
@@ -50,73 +63,207 @@ func (s Strategy) String() string {
 	return "unknown-strategy"
 }
 
+// ParseStrategy parses a strategy flag value: "full"/"full-averaging",
+// "ring"/"ring-gossip", or "elastic"/"elastic-averaging".
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "full", "full-averaging":
+		return FullAveraging, nil
+	case "ring", "ring-gossip":
+		return RingGossip, nil
+	case "elastic", "elastic-averaging":
+		return ElasticAveraging, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown strategy %q (want full | ring | elastic)", s)
+}
+
+// gossipReplica is the view of one worker the gossip protocol is allowed to
+// touch: the node's own parameter vector, read when forming its message and
+// read-modified when applying its own mix. The engine wires each worker's
+// network in directly; the oracle-free invariant test swaps in guarded
+// implementations that panic on out-of-band (cross-node or extra-pass)
+// reads, which is what pins the no-shared-reference property.
+type gossipReplica interface {
+	Params() []float64
+}
+
+// gossipState is the engine-owned CHOCO-SGD bookkeeping for compressed ring
+// gossip. hat[j] is the estimate x̂_j: conceptually node j and both of its
+// ring neighbors hold a copy each, but since every holder applies the
+// identical wire update q_j to the identical previous value, the copies can
+// never diverge and the engine stores one canonical vector per node (the
+// invariant test exercises exactly this wire-only derivability).
+type gossipState struct {
+	gamma    float64     // consensus step size (Config.GossipGamma)
+	lossless bool        // dense/lossless compressor: estimates pin exactly
+	hat      [][]float64 // hat[j] = x̂_j, updated only from wire messages
+	hatBack  []float64   // backing array for hat
+	rec      []float64   // decode scratch for the message in flight
+	peers    [][]int     // peers[i] = ring neighbors of node i
+	proj     [][]float64 // projected post-mix estimates (evaluation model)
+	projBack []float64   // backing array for proj
+	nodes    []gossipReplica
+}
+
+// newGossipState builds the estimate state: every x̂_j starts at the initial
+// broadcast model (init), which all nodes know, so the state stays
+// wire-derivable from round zero.
+func newGossipState(m int, init []float64, gamma float64, lossless bool) *gossipState {
+	dim := len(init)
+	g := &gossipState{
+		gamma:    gamma,
+		lossless: lossless,
+		hat:      make([][]float64, m),
+		hatBack:  make([]float64, m*dim),
+		rec:      make([]float64, dim),
+		peers:    make([][]int, m),
+		proj:     make([][]float64, m),
+		projBack: make([]float64, m*dim),
+		nodes:    make([]gossipReplica, m),
+	}
+	for j := 0; j < m; j++ {
+		g.hat[j] = g.hatBack[j*dim : (j+1)*dim]
+		copy(g.hat[j], init)
+		g.proj[j] = g.projBack[j*dim : (j+1)*dim]
+		copy(g.proj[j], init)
+		switch m {
+		case 1:
+			g.peers[j] = nil
+		case 2:
+			g.peers[j] = []int{1 - j}
+		default:
+			g.peers[j] = []int{(j - 1 + m) % m, (j + 1) % m}
+		}
+	}
+	return g
+}
+
 // averageRing mixes each replica with its ring neighbors. Mixing is
-// computed from a frozen snapshot so worker order cannot matter, then
-// e.global is refreshed with the replica mean (for evaluation and AdaComm's
-// loss probe).
+// computed from a frozen snapshot (engine-owned scratch, reused every sync)
+// so worker order cannot matter, then e.global is refreshed with the
+// replica mean (for evaluation and AdaComm's loss probe).
 func (e *Engine) averageRing() {
 	if e.comps != nil {
-		e.averageRingCompressed()
+		e.averageRingChoco()
 		return
 	}
-	snap := make([][]float64, e.m)
 	for i, w := range e.workers {
-		snap[i] = append([]float64(nil), w.model.Params()...)
+		copy(e.ringSnap[i], w.model.Params())
 	}
 	for i, w := range e.workers {
-		prev := snap[(i-1+e.m)%e.m]
-		next := snap[(i+1)%e.m]
+		self := e.ringSnap[i]
 		dst := w.model.Params()
-		for j := range dst {
-			dst[j] = (prev[j] + snap[i][j] + next[j]) / 3
+		switch {
+		case e.m == 2:
+			// A two-node ring has ONE neighbor; counting it once keeps
+			// the mixing matrix doubly stochastic instead of the
+			// double-counted (2*other + self)/3 a naive prev==next
+			// indexing would produce.
+			other := e.ringSnap[1-i]
+			for j := range dst {
+				dst[j] = (self[j] + other[j]) / 2
+			}
+		case e.m >= 3:
+			prev := e.ringSnap[(i-1+e.m)%e.m]
+			next := e.ringSnap[(i+1)%e.m]
+			for j := range dst {
+				dst[j] = (prev[j] + self[j] + next[j]) / 3
+			}
+			// m == 1: a one-node ring has nothing to mix with; the mix is
+			// the identity, not the rounding-perturbed (x+x+x)/3.
 		}
 		e.resetWorkerMomentum(w)
 	}
-	e.lastReport = comm.DenseReport(e.m, e.dim)
+	e.lastReport = e.denseRep
 	e.refreshGlobalFromReplicaMean()
 }
 
-// averageRingCompressed is ring gossip over compressed messages: each worker
-// compresses its delta from the last published replica mean (e.global, the
-// shared reference every node saw at the previous synchronization) and ships
-// it to its ring neighbors; mixing averages the RECONSTRUCTIONS — including
-// the worker's own, so sender and receivers agree on every term of the mix.
-// With m = 3 the ring mix is the global mean, so compressed ring gossip must
-// match compressed full averaging's synchronized model (the regression test
-// asserts this).
-func (e *Engine) averageRingCompressed() {
-	rep := comm.Report{Bytes: make([]int, e.m)}
-	recon := make([][]float64, e.m)
-	for i, w := range e.workers {
-		tensor.Sub(e.deltaBuf, w.model.Params(), e.global)
-		msg, err := e.comps[i].Compress(e.deltaBuf)
-		if err != nil {
-			panic(fmt.Sprintf("cluster: worker %d compress: %v", i, err))
+// averageRingChoco is CHOCO-SGD's compressed gossip round. Phase 1: every
+// node compresses its delta from its OWN estimate, q_i = C(x_i - x̂_i), and
+// multicasts it to its ring neighbors; every holder of x̂_i — the node and
+// its neighbors alike — applies the identical wire update x̂_i += q̂_i, so
+// the engine's canonical copy stands in for all of them. Phase 2: each node
+// mixes toward its neighborhood's estimate average,
+//
+//	x_i <- x_i + gamma * ((x̂_prev + x̂_i + x̂_next)/3 - x̂_i),
+//
+// computed as gamma*mix + (x_i - gamma*x̂_i) so that a lossless compressor
+// (x̂_i == x_i exactly, see below) at gamma = 1 reproduces the raw ring
+// arithmetic bit for bit. Finally the evaluation model is refreshed as the
+// mean of the projected post-mix ESTIMATES — every quantity in the round,
+// including the one evaluation observes, is derivable from the wire.
+//
+// Lossless (dense-encoding) compressors get a protocol refinement: since
+// C(x_i - x̂_i) costs exactly the 8*dim wire bytes of the parameters
+// themselves, the node ships x_i directly and holders assign rather than
+// accumulate. That pins x̂_i to x_i exactly instead of up to the rounding of
+// x̂_i + fl(x_i - x̂_i), which is what makes identity-compressed gossip
+// bit-identical to the uncompressed path (the regression tests assert it;
+// at m = 3 the ring mix is the global mean, so this is also the compressed
+// "ring == full averaging" anchor).
+func (e *Engine) averageRingChoco() {
+	g := e.gossip
+	maxBytes := 0
+	for i, node := range g.nodes {
+		params := node.Params()
+		var msg compress.Message
+		if g.lossless {
+			msg = compress.Message{Dim: e.dim, Enc: compress.EncDense, Dense: params}
+		} else {
+			tensor.Sub(e.deltaBuf, params, g.hat[i])
+			var err error
+			msg, err = e.comps[i].Compress(e.deltaBuf)
+			if err != nil {
+				panic(fmt.Sprintf("cluster: worker %d compress: %v", i, err))
+			}
 		}
-		rec := make([]float64, e.dim)
-		pay, err := e.com.Push(i, msg, rec)
+		pay, err := e.com.PushMulti(i, g.peers[i], msg, g.rec)
 		if err != nil {
 			panic(fmt.Sprintf("cluster: worker %d push: %v", i, err))
 		}
-		tensor.Axpy(1, e.global, rec) // xhat_i = reference + delta_hat_i
-		recon[i] = rec
-		rep.Bytes[i] = pay.UpBytes
-		if pay.UpBytes > rep.Max {
-			rep.Max = pay.UpBytes
+		if g.lossless {
+			copy(g.hat[i], g.rec) // x̂_i = decoded x_i, exact
+		} else {
+			tensor.Axpy(1, g.rec, g.hat[i]) // x̂_i += decoded delta
+		}
+		e.repBytes[i] = pay.UpBytes
+		if pay.UpBytes > maxBytes {
+			maxBytes = pay.UpBytes
 		}
 	}
-	for i, w := range e.workers {
-		prev := recon[(i-1+e.m)%e.m]
-		next := recon[(i+1)%e.m]
-		self := recon[i]
-		dst := w.model.Params()
-		for j := range dst {
-			dst[j] = (prev[j] + self[j] + next[j]) / 3
+	gamma := g.gamma
+	for i, node := range g.nodes {
+		dst := node.Params()
+		hs := g.hat[i]
+		prj := g.proj[i]
+		switch {
+		case e.m == 2:
+			ho := g.hat[1-i]
+			for j := range dst {
+				mix := (hs[j] + ho[j]) / 2
+				dst[j] = gamma*mix + (dst[j] - gamma*hs[j])
+				prj[j] = gamma*mix + (hs[j] - gamma*hs[j])
+			}
+		case e.m >= 3:
+			hp := g.hat[(i-1+e.m)%e.m]
+			hn := g.hat[(i+1)%e.m]
+			for j := range dst {
+				mix := (hp[j] + hs[j] + hn[j]) / 3
+				dst[j] = gamma*mix + (dst[j] - gamma*hs[j])
+				prj[j] = gamma*mix + (hs[j] - gamma*hs[j])
+			}
+		default: // m == 1: a one-node ring has nothing to mix with.
+			copy(prj, hs)
 		}
-		e.resetWorkerMomentum(w)
+		e.resetWorkerMomentum(e.workers[i])
 	}
-	e.lastReport = rep
-	e.refreshGlobalFromReplicaMean()
+	e.lastReport = comm.Report{Bytes: e.repBytes, Max: maxBytes}
+	// The evaluation model is the mean of the PROJECTED post-mix estimates
+	// x̃_i = x̂_i + gamma*(mix_i - x̂_i): every term comes off the wire, and
+	// the projection applies the same mixing expression the replicas do, so
+	// a lossless compressor (x̂_i == x_i exactly) makes the evaluated model
+	// bit-identical to the raw path's post-mix replica mean.
+	tensor.Mean(e.global, g.proj...)
 }
 
 // averageElastic applies the EASGD update: x_i <- x_i - alpha(x_i - z),
@@ -127,8 +274,11 @@ func (e *Engine) averageRingCompressed() {
 func (e *Engine) averageElastic() {
 	alpha := e.cfg.ElasticAlpha
 	beta := e.cfg.ElasticBeta
-	centerPull := make([]float64, e.dim)
-	rep := comm.Report{Bytes: make([]int, e.m)}
+	centerPull := e.pullBuf
+	for j := range centerPull {
+		centerPull[j] = 0
+	}
+	maxBytes := 0
 	for i, w := range e.workers {
 		p := w.model.Params()
 		if e.comps != nil {
@@ -145,9 +295,9 @@ func (e *Engine) averageElastic() {
 				p[j] -= alpha * e.deltaBuf[j]
 				centerPull[j] += e.deltaBuf[j]
 			}
-			rep.Bytes[i] = pay.UpBytes
-			if pay.UpBytes > rep.Max {
-				rep.Max = pay.UpBytes
+			e.repBytes[i] = pay.UpBytes
+			if pay.UpBytes > maxBytes {
+				maxBytes = pay.UpBytes
 			}
 		} else {
 			for j := range p {
@@ -155,23 +305,24 @@ func (e *Engine) averageElastic() {
 				p[j] -= alpha * diff
 				centerPull[j] += diff
 			}
-			rep.Bytes[i] = 8 * e.dim
-			rep.Max = 8 * e.dim
+			e.repBytes[i] = 8 * e.dim
+			maxBytes = 8 * e.dim
 		}
 		e.resetWorkerMomentum(w)
 	}
 	tensor.Axpy(beta/float64(e.m), centerPull, e.global)
-	e.lastReport = rep
+	e.lastReport = comm.Report{Bytes: e.repBytes, Max: maxBytes}
 }
 
 // refreshGlobalFromReplicaMean recomputes the evaluation model as the mean
-// of all replicas (used by strategies without a literal global model).
+// of all replicas (used by the raw gossip path, which has no literal global
+// model; the CHOCO path averages its estimates instead so that even the
+// evaluated model is wire-derivable).
 func (e *Engine) refreshGlobalFromReplicaMean() {
-	vecs := make([][]float64, e.m)
 	for i, w := range e.workers {
-		vecs[i] = w.model.Params()
+		e.meanVecs[i] = w.model.Params()
 	}
-	tensor.Mean(e.global, vecs...)
+	tensor.Mean(e.global, e.meanVecs...)
 }
 
 func (e *Engine) resetWorkerMomentum(w *worker) {

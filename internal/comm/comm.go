@@ -46,6 +46,8 @@ type Report struct {
 //     visible everywhere.
 //   - Push sends one worker's message toward the aggregation root,
 //     reconstructing it at the receiver.
+//   - PushMulti sends one worker's message to an explicit set of peers
+//     (the neighbor-addressed exchange decentralized gossip uses).
 //   - Pull accounts for one worker receiving a payload from the root.
 //
 // Implementations must be deterministic: aggregation happens in fixed worker
@@ -59,6 +61,12 @@ type Communicator interface {
 	// Push decodes worker's message into dst (overwriting it) and returns
 	// the transfer's Payload.
 	Push(worker int, msg compress.Message, dst []float64) (Payload, error)
+	// PushMulti sends worker's message to each listed peer in one
+	// overlapped hop, decoding it once into dst (every peer reconstructs
+	// the identical payload). The transfer is charged the message bytes
+	// once — the legacy single-overlapped-hop pricing gossip strategies
+	// use, where a node's broadcast to its neighbors overlaps on its link.
+	PushMulti(worker int, peers []int, msg compress.Message, dst []float64) (Payload, error)
 	// Pull accounts for worker receiving bytes from the aggregation root.
 	Pull(worker int, bytes int) Payload
 }
@@ -108,6 +116,25 @@ func (c *Simulated) AllReduce(msgs []compress.Message, sum []float64) (Report, e
 func (c *Simulated) Push(worker int, msg compress.Message, dst []float64) (Payload, error) {
 	if worker < 0 || worker >= c.m {
 		return Payload{}, fmt.Errorf("comm: worker %d out of [0,%d)", worker, c.m)
+	}
+	if err := compress.Decode(msg, dst); err != nil {
+		return Payload{}, fmt.Errorf("comm: worker %d: %w", worker, err)
+	}
+	return Payload{UpBytes: msg.Bytes()}, nil
+}
+
+// PushMulti implements Communicator.
+func (c *Simulated) PushMulti(worker int, peers []int, msg compress.Message, dst []float64) (Payload, error) {
+	if worker < 0 || worker >= c.m {
+		return Payload{}, fmt.Errorf("comm: worker %d out of [0,%d)", worker, c.m)
+	}
+	for _, p := range peers {
+		if p < 0 || p >= c.m {
+			return Payload{}, fmt.Errorf("comm: peer %d out of [0,%d)", p, c.m)
+		}
+		if p == worker {
+			return Payload{}, fmt.Errorf("comm: worker %d addressed itself", worker)
+		}
 	}
 	if err := compress.Decode(msg, dst); err != nil {
 		return Payload{}, fmt.Errorf("comm: worker %d: %w", worker, err)

@@ -139,6 +139,40 @@ func TestPushDecodesAndAccounts(t *testing.T) {
 	}
 }
 
+func TestPushMultiDecodesValidatesAndAccounts(t *testing.T) {
+	c := New(AllGather, 4)
+	vec := []float64{1, -2, 3, 0}
+	msg := compress.Message{Dim: 4, Enc: compress.EncDense, Dense: vec}
+	dst := make([]float64, 4)
+	pay, err := c.PushMulti(1, []int{0, 2}, msg, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range vec {
+		if dst[j] != vec[j] {
+			t.Fatalf("multicast did not decode at %d", j)
+		}
+	}
+	// One overlapped hop: the message is charged once regardless of the
+	// peer count.
+	if pay.UpBytes != msg.Bytes() || pay.DownBytes != 0 {
+		t.Fatalf("multicast payload %+v, want up=%d", pay, msg.Bytes())
+	}
+	if _, err := c.PushMulti(9, []int{0}, msg, dst); err == nil {
+		t.Fatal("accepted out-of-range sender")
+	}
+	if _, err := c.PushMulti(1, []int{4}, msg, dst); err == nil {
+		t.Fatal("accepted out-of-range peer")
+	}
+	if _, err := c.PushMulti(1, []int{1}, msg, dst); err == nil {
+		t.Fatal("accepted self-addressed peer")
+	}
+	bad := compress.Message{Dim: 9, Enc: compress.EncDense, Dense: make([]float64, 9)}
+	if _, err := c.PushMulti(1, []int{0}, bad, dst); err == nil {
+		t.Fatal("accepted dim mismatch")
+	}
+}
+
 func TestDenseReport(t *testing.T) {
 	rep := DenseReport(3, 10)
 	if rep.Max != 80 || len(rep.Bytes) != 3 {

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGossipGridShape(t *testing.T) {
+	spec := DefaultGossipGrid(ScaleQuick)
+	res := RunGossipGrid(spec)
+
+	// One raw row plus (choco, shared-ref) per ratio, per ring size.
+	want := len(spec.RingSizes) * (1 + 2*len(spec.Ratios))
+	if len(res.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(res.Rows), want)
+	}
+	raw := map[int]GossipGridRow{}
+	for _, r := range res.Rows {
+		if r.FinalLoss <= 0 || r.MinLoss <= 0 {
+			t.Fatalf("degenerate losses in row %+v", r)
+		}
+		if r.Method == "ring raw" {
+			raw[r.M] = r
+		}
+	}
+	for _, r := range res.Rows {
+		if r.Method == "ring choco" {
+			base, ok := raw[r.M]
+			if !ok {
+				t.Fatalf("no raw reference for m=%d", r.M)
+			}
+			if r.BytesPerRound >= base.BytesPerRound/2 {
+				t.Fatalf("m=%d choco payload %d not meaningfully below raw %d",
+					r.M, r.BytesPerRound, base.BytesPerRound)
+			}
+			// The wire-derivable estimates must keep CHOCO in the same
+			// loss regime as uncompressed gossip.
+			if r.FinalLoss > 2*base.FinalLoss {
+				t.Fatalf("m=%d choco final loss %v far above raw %v",
+					r.M, r.FinalLoss, base.FinalLoss)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	PrintGossipGrid(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"CHOCO", "ring choco", "full shared-ref", "ring raw"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered grid missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGossipGridConcurrentMatchesSerial(t *testing.T) {
+	// The grid's cells are independent engines (each owning its CHOCO
+	// estimate state), so the experiment pool must not change a byte of the
+	// rendered output.
+	old := SetWorkers(1)
+	defer SetWorkers(old)
+
+	spec := DefaultGossipGrid(ScaleQuick)
+	spec.RingSizes = []int{4}
+	spec.Ratios = []float64{0.25}
+	var serial bytes.Buffer
+	PrintGossipGrid(&serial, RunGossipGrid(spec))
+
+	SetWorkers(8)
+	var conc bytes.Buffer
+	PrintGossipGrid(&conc, RunGossipGrid(spec))
+
+	if serial.String() != conc.String() {
+		t.Fatalf("gossip grid output differs across pool widths:\n%s\nvs\n%s",
+			serial.String(), conc.String())
+	}
+}
