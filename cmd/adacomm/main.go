@@ -13,6 +13,8 @@
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -links "0:,0:,0:,0:25.6"
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -links "0:,0:,0:,0:25.6" -link-aware
 //	adacomm -arch logistic -method fixed -tau 5 -strategy ring -compress topk:0.1 -gossip-gamma 0.5
+//	adacomm -arch logistic -method fixed -async -clients 1024 -participation 32 -tau 4
+//	adacomm -arch logistic -method fixed -async -participation 6 -workers 8 -link-aware
 package main
 
 import (
@@ -63,6 +65,12 @@ func main() {
 		"synchronization strategy: full | ring | elastic (ring + -compress runs CHOCO-SGD gossip)")
 	gossipGamma := flag.Float64("gossip-gamma", 0,
 		"CHOCO consensus step size in (0,1] for -strategy ring with -compress (0 = default 1)")
+	async := flag.Bool("async", false,
+		"run the event-driven engine (K-of-m partial participation) instead of the round-barrier PASGD engine")
+	participation := flag.Int("participation", 0,
+		"with -async: aggregate the first K arrivals per update (0 = all clients, the barrier special case)")
+	clients := flag.Int("clients", 0,
+		"with -async: simulated client population N; memory stays proportional to -participation (0 = -workers)")
 	flag.Parse()
 
 	spec, err := compress.ParseSpec(*compressFlag)
@@ -86,8 +94,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adacomm: -adapt-compression requires -method adacomm")
 		os.Exit(2)
 	}
-	if *linkAware && *method != "adacomm" {
-		fmt.Fprintln(os.Stderr, "adacomm: -link-aware requires -method adacomm")
+	if *linkAware && *method != "adacomm" && !*async {
+		fmt.Fprintln(os.Stderr, "adacomm: -link-aware requires -method adacomm or -async")
+		os.Exit(2)
+	}
+
+	// The event-driven engine has no tau controller, runs the full-averaging
+	// strategy only, and prices point-to-point links directly — flags that
+	// configure the barrier engine's controllers or routing are rejected
+	// rather than silently ignored.
+	if !*async {
+		if *participation != 0 {
+			fmt.Fprintln(os.Stderr, "adacomm: -participation requires -async")
+			os.Exit(2)
+		}
+		if *clients != 0 {
+			fmt.Fprintln(os.Stderr, "adacomm: -clients requires -async")
+			os.Exit(2)
+		}
+	} else {
+		switch {
+		case *method == "adacomm":
+			fmt.Fprintln(os.Stderr, "adacomm: -async runs without a tau controller; use -method fixed -tau")
+		case *adaptCompression:
+			fmt.Fprintln(os.Stderr, "adacomm: -adapt-compression needs the AdaComm controller; not available with -async")
+		case *strategyFlag != "full":
+			fmt.Fprintln(os.Stderr, "adacomm: -async supports only -strategy full (K-of-m averaging)")
+		case *topologyFlag != "allgather":
+			fmt.Fprintln(os.Stderr, "adacomm: -async prices point-to-point links; -topology does not apply")
+		case *momentum != 0 || *blockMomentum != 0:
+			fmt.Fprintln(os.Stderr, "adacomm: -async does not support momentum (local state defeats client sharding)")
+		case *variableLR:
+			fmt.Fprintln(os.Stderr, "adacomm: -async uses a constant learning rate; -variable-lr does not apply")
+		case *clients < 0:
+			fmt.Fprintf(os.Stderr, "adacomm: -clients %d must be >= 0\n", *clients)
+		case *participation < 0:
+			fmt.Fprintf(os.Stderr, "adacomm: -participation %d must be >= 0\n", *participation)
+		default:
+			runAsync(asyncOpts{
+				arch: *arch, classes: *classes, clients: *clients, workers: *workers,
+				participation: *participation, tau: *tau, batch: *batch, lr: *lr,
+				budget: *budget, seed: *seed, quick: *quick, spec: spec,
+				bandwidth: *bandwidth, links: *linksFlag, linkAware: *linkAware,
+			})
+			return
+		}
 		os.Exit(2)
 	}
 
@@ -186,4 +237,83 @@ func couplingFlag(variable bool) core.Coupling {
 		return core.SqrtCoupling
 	}
 	return core.NoCoupling
+}
+
+// asyncOpts carries the validated flag set for the event-driven path.
+type asyncOpts struct {
+	arch          string
+	classes       int
+	clients       int
+	workers       int
+	participation int
+	tau           int
+	batch         int
+	lr            float64
+	budget        float64
+	seed          uint64
+	quick         bool
+	spec          compress.Spec
+	bandwidth     float64
+	links         string
+	linkAware     bool
+}
+
+// runAsync builds and runs the event-driven engine: -clients shards
+// (default -workers), aggregating the first -participation arrivals per
+// update. Exits 2 on invalid configurations, mirroring the barrier path.
+func runAsync(o asyncOpts) {
+	n := o.clients
+	if n == 0 {
+		n = o.workers
+	}
+	k := o.participation
+	if k == 0 {
+		k = n
+	}
+	scale := experiments.ScaleFull
+	if o.quick {
+		scale = experiments.ScaleQuick
+	}
+	w := experiments.BuildWorkload(experiments.Arch(o.arch), o.classes, n, scale, o.seed)
+	if o.bandwidth > 0 {
+		w.Delay.Bandwidth = o.bandwidth
+	}
+	links, err := delaymodel.ParseLinks(o.links, n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(2)
+	}
+	w.Delay.Links = links
+
+	cfg := cluster.AsyncConfig{
+		Participation: k,
+		Tau:           o.tau,
+		BatchSize:     o.batch,
+		LR:            o.lr,
+		MaxTime:       o.budget,
+		EvalEvery:     100,
+		EvalSubset:    512,
+		Compress:      o.spec,
+		LinkAware:     o.linkAware,
+		Seed:          o.seed + 1,
+	}
+	engine, err := cluster.NewAsync(w.Proto, w.Shards, w.Train, w.Test, w.Delay, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(2)
+	}
+	trace := engine.Run(fmt.Sprintf("async K=%d/%d", k, n))
+	if err := metrics.WriteCSV(os.Stdout, trace); err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(1)
+	}
+	st := engine.Stats()
+	fmt.Fprintf(os.Stderr,
+		"final loss %.5f, min loss %.5f, test acc %.2f%%, %d iters in %.1f sim-s\n",
+		trace.FinalLoss(), trace.MinLoss(), 100*engine.TestAccuracy(),
+		trace.Last().Iter, trace.Last().Time)
+	fmt.Fprintf(os.Stderr,
+		"async: %d updates, %d applied (%d expired), mean staleness %.2f, peak in-flight %d, %d replicas + %d scratch vectors\n",
+		st.Updates, st.Applied, st.Expired, st.MeanStaleness, st.PeakInFlight,
+		st.MaterializedReplicas, st.ScratchVectors)
 }

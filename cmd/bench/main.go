@@ -33,6 +33,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compress"
 	"repro/internal/data"
+	"repro/internal/delaymodel"
+	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/nn"
 	"repro/internal/rng"
@@ -146,6 +148,69 @@ func strategySetup(strat cluster.Strategy, spec compress.Spec) func() {
 	}
 }
 
+// eventQueueSetup times the discrete-event scheduler's raw throughput:
+// push 4096 events with colliding times (exercising the seeded tie-break)
+// and drain them. Events/sec = 8192 / (ns_per_op * 1e-9); mirrors the
+// events package's BenchmarkQueuePushPop.
+func eventQueueSetup() func() {
+	return func() {
+		q := events.NewQueue(9)
+		for j := 0; j < 4096; j++ {
+			q.Push(events.Event{Time: float64(j % 64), Worker: j & 255, Kind: events.Kind(j & 1)})
+		}
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// asyncRunSetup times the event-driven engine end to end: construct and run
+// a K-of-m job to a fixed update count, so ns/op tracks scheduler plus
+// aggregation overhead per training run.
+func asyncRunSetup(clients, k, updates int) func() {
+	w := experiments.BuildWorkload(experiments.ArchLogistic, 4, clients, experiments.ScaleQuick, 5)
+	cfg := cluster.AsyncConfig{
+		Participation: k, Tau: 2, BatchSize: 8, LR: 0.1,
+		MaxUpdates: updates, EvalEvery: 1 << 30, Seed: 6,
+	}
+	return func() {
+		e, err := cluster.NewAsync(w.Proto, w.Shards, w.Train, w.Test, w.Delay, cfg)
+		if err != nil {
+			panic(err)
+		}
+		e.Run("bench")
+	}
+}
+
+// asyncShardSetup is the client-sharding memory benchmark: 1024 simulated
+// clients at K=32. B/op is the evidence for the "memory proportional to K,
+// not N" claim — it must stay orders of magnitude below 1024 materialized
+// replicas (1024 * dim * 8 bytes per update batch).
+func asyncShardSetup() func() {
+	const clients, dim, classes = 1024, 16, 4
+	r := rng.New(7)
+	train := data.GaussianBlobs(data.GaussianBlobsConfig{
+		Classes: classes, Dim: dim, N: 4096, Separation: 4, Noise: 1.5,
+	}, r)
+	proto := nn.NewLogisticRegression(dim, classes)
+	proto.InitParams(r.Split())
+	shards := data.ShardIID(train, clients, r.Split())
+	dm := delaymodel.FederatedProfile(1, 4096).Model(clients, nil)
+	cfg := cluster.AsyncConfig{
+		Participation: 32, Tau: 2, BatchSize: 4, LR: 0.1,
+		MaxUpdates: 5, EvalEvery: 1 << 30, Seed: 8,
+	}
+	return func() {
+		e, err := cluster.NewAsync(proto, shards, train, nil, dm, cfg)
+		if err != nil {
+			panic(err)
+		}
+		e.Run("bench")
+	}
+}
+
 // fig9Setup regenerates the quick Fig 9 comparison with the given
 // experiment-pool width. The serial variant (workers == 1) also pins the
 // engines' ComputeWorkers to 1 so it is serial END TO END — otherwise each
@@ -198,6 +263,9 @@ func main() {
 			return strategySetup(cluster.ElasticAveraging,
 				compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true})
 		}},
+		{"EventQueue/4096", 0, func() func() { return eventQueueSetup() }},
+		{"AsyncRun/8of64", 20, func() func() { return asyncRunSetup(64, 8, 10) }},
+		{"AsyncShard/1024", 10, func() func() { return asyncShardSetup() }},
 		// Fig9Quick is an end-to-end figure regeneration (seconds per op);
 		// 2 iterations bound the total runtime.
 		{"Fig9Quick/serial", 2, func() func() { return fig9Setup(1) }},

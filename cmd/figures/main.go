@@ -11,6 +11,7 @@
 //	figures -quick          # reduced sizes (smoke test)
 //	figures -csv out/       # also write trace CSVs into out/
 //	figures -workers 8      # run up to 8 methods per figure concurrently
+//	figures -async          # async-vs-sync ablation (event-driven engine)
 //
 // Each figure's methods are independent training runs, so they execute
 // concurrently on the experiment pool (default width GOMAXPROCS); the
@@ -50,6 +51,8 @@ func main() {
 		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
 	gossip := flag.Bool("gossip", false,
 		"run the gossip-compression ablation grid (CHOCO ring vs shared-reference averaging) instead of the paper figures")
+	async := flag.Bool("async", false,
+		"run the async-vs-sync ablation (event-driven K-of-m vs round-barrier engines under a 10x straggler) instead of the paper figures")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -70,6 +73,19 @@ func main() {
 		scale = experiments.ScaleQuick
 	}
 	out := os.Stdout
+	if *gossip && *async {
+		fmt.Fprintln(os.Stderr, "figures: -gossip and -async are separate ablations; pick one")
+		os.Exit(2)
+	}
+	if *async {
+		if *fig != 0 || *table != 0 || *bytes != 0 || *csvDir != "" {
+			fmt.Fprintln(os.Stderr, "figures: -async runs only the async ablation; it cannot combine with -fig/-table/-bytes/-csv")
+			os.Exit(2)
+		}
+		target, rows := experiments.AsyncAblation(experiments.DefaultAsyncSpec(scale))
+		experiments.PrintLinkAware(out, "async vs sync under 10x straggler", target, rows)
+		return
+	}
 	if *gossip {
 		if *fig != 0 || *table != 0 || *bytes != 0 || *csvDir != "" {
 			fmt.Fprintln(os.Stderr, "figures: -gossip runs only the gossip grid; it cannot combine with -fig/-table/-bytes/-csv")

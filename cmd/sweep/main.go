@@ -11,6 +11,7 @@
 //	sweep -ablation t0       # interval length sensitivity
 //	sweep -ablation delay    # constant vs exponential vs Pareto Y
 //	sweep -ablation gossip   # CHOCO ring gossip vs shared-reference averaging
+//	sweep -ablation async    # event-driven K-of-m vs round-barrier engines
 //	sweep -ablation all
 //
 // Grid cells are independent configurations and run concurrently on the
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | all")
+	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | async | all")
 	quick := flag.Bool("quick", false, "use reduced sizes")
 	workers := flag.Int("workers", 0,
 		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
@@ -74,6 +75,11 @@ func main() {
 	}
 	if all || *which == "gossip" {
 		experiments.PrintGossipGrid(out, experiments.RunGossipGrid(experiments.DefaultGossipGrid(scale)))
+		fmt.Fprintln(out)
+	}
+	if all || *which == "async" {
+		target, rows := experiments.AsyncAblation(experiments.DefaultAsyncSpec(scale))
+		experiments.PrintLinkAware(out, "async vs sync under 10x straggler", target, rows)
 		fmt.Fprintln(out)
 	}
 }

@@ -60,6 +60,30 @@
 // See cmd/adacomm's -link-aware flag and cmd/figures' -bytes/-bandwidth
 // flags for the size-aware Fig 5/7/8 Monte-Carlo variants.
 //
+// Beyond the lock-step engines, internal/events + cluster.NewAsync form an
+// event-driven execution mode: a deterministic discrete-event scheduler
+// (priority queue over per-client virtual clocks, seeded tie-breaking, so
+// the event trace is a pure function of the seed at any GOMAXPROCS)
+// replaces the round barrier. Each update aggregates the FIRST K arrivals
+// (paramserver.ArrivalPolicy — the same K-of-m rule AdaSync's link-aware
+// cap uses), staleness-weighted by (1+s)^-pow with arrivals beyond
+// MaxStaleness discarded; stragglers overlap later rounds instead of
+// gating them. Client sharding makes the population a memory non-issue:
+// idle clients are a pair of RNG streams, in-flight clients a compressed
+// wire message (internal/compress, priced at dispatch via the size-aware
+// delay model), and only one compute replica is ever materialized — local
+// numerics run eagerly at dispatch (they depend only on the dispatch-time
+// global model and the client's own streams) while delivery is
+// event-scheduled, giving true stale-update semantics with memory
+// proportional to K, not N. examples/federated runs 1024 non-IID clients
+// at K=32 in two replicas plus four scratch vectors; the async ablation
+// (cmd/figures -async, cmd/sweep -ablation async, cmd/adacomm -async
+// -participation -clients) shows K-of-m beating the full barrier on
+// simulated wall-clock under a 10x straggler. delaymodel.Model.Jitter
+// gives every worker a persistent seeded compute-speed factor so arrival
+// order is non-degenerate on homogeneous configurations (nil = every
+// legacy trace bit-identical).
+//
 // The training hot path is deterministic-parallel at three layers. (1) The
 // lock-step engine fans each round's per-worker local-update loops across a
 // bounded goroutine pool (cluster.Config.ComputeWorkers, default

@@ -1,0 +1,657 @@
+// Event-driven asynchronous engine: the third execution mode of the
+// cluster package, built on internal/events instead of the round barrier.
+//
+// The lock-step engines advance all m workers together, so the slowest
+// link gates every round and every replica must stay materialized. The
+// async engine replaces the barrier with a discrete-event schedule over
+// per-client virtual clocks:
+//
+//   - K-of-m partial participation: each synchronization aggregates the
+//     FIRST K arrivals (paramserver.ArrivalPolicy — the same rule AdaSync
+//     applies on the server side), staleness-weighted by how many global
+//     versions elapsed since the contributor pulled its base model.
+//     Stragglers' in-flight work overlaps the next round instead of gating
+//     it; results staler than MaxStaleness versions are discarded on
+//     arrival, which is what bounds the engine's version-history needs to
+//     ZERO (see below).
+//
+//   - Client sharding: the engine simulates a population of N clients with
+//     memory proportional to K, not N. An idle client's entire state is a
+//     pair of RNG streams (its "seed"); an in-flight client's state is the
+//     compressed wire message it will deliver (internal/compress, priced by
+//     the delay model via compress.Spec-sized payloads); only ONE replica
+//     is ever materialized — the engine's compute slot.
+//
+// # The materialize/evict lifecycle (and why one compute slot suffices)
+//
+// A client's local training depends only on the global model at its
+// dispatch version and on its own RNG streams — never on events that
+// happen between dispatch and arrival. The simulator exploits this by
+// running the numerics EAGERLY at dispatch time, inside the serial event
+// loop: materialize the client into the compute slot (SetParams from the
+// current global), run tau local steps, compress the delta against that
+// same base, evict the client back to its compressed message, and schedule
+// the Arrival at dispatch-time + pull + compute + push on the client's own
+// link and clock. The simulated TIMELINE is fully asynchronous — by the
+// time the message arrives the global model has moved on, and the update
+// is applied stale, exactly as a real async system would — but no snapshot
+// history and no per-client replica is ever needed. Peak materialized
+// state is therefore the compute slot plus the evaluation replica plus
+// four dim-length aggregation scratch vectors, independent of both N and
+// K (comfortably within the "K replicas + aggregation scratch" budget a
+// real K-participation server would pay).
+//
+// Determinism: the event loop is single-goroutine; queue tie-breaking is
+// seeded (internal/events), per-client streams are split at construction,
+// and client sampling draws from the engine's own stream in event order —
+// so a run's event trace and final parameters are a pure function of the
+// seed, at any GOMAXPROCS (asserted by the async determinism and golden
+// tests).
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/data"
+	"repro/internal/delaymodel"
+	"repro/internal/events"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/paramserver"
+	"repro/internal/rng"
+	"repro/internal/sgd"
+	"repro/internal/tensor"
+)
+
+// AsyncConfig controls the event-driven engine (NewAsync).
+type AsyncConfig struct {
+	// Participation is K: every synchronization aggregates the first K
+	// arrivals. K equal to the client count (with InFlight equal too) is
+	// the fully synchronous barrier special case.
+	Participation int
+
+	// InFlight is the target number of concurrently active clients. It must
+	// be at least Participation — the overhang (InFlight - Participation)
+	// is what lets stragglers overlap the next round instead of gating the
+	// current one. 0 defaults to min(2*Participation, clients).
+	InFlight int
+
+	// Tau is the number of local steps per activation.
+	Tau int
+
+	BatchSize int
+	LR        float64
+	// ServerLR scales the applied aggregate (0 defaults to 1): the update
+	// is x += ServerLR * (weighted mean of client deltas).
+	ServerLR float64
+
+	// StalenessPow shapes the staleness weights: a contribution based on a
+	// model s versions old is weighted (1+s)^-StalenessPow before
+	// normalization (Xie et al. 2019's polynomial rule). 0 defaults to 1;
+	// explicit values must be finite and non-negative.
+	StalenessPow float64
+
+	// MaxStaleness discards arrivals whose base model is more than this
+	// many versions old instead of applying them (0 defaults to 64). The
+	// discarded client simply goes idle and a replacement is dispatched —
+	// the same drop-and-resample a production federated server performs.
+	MaxStaleness int
+
+	// Stop conditions (at least one must be set): simulated seconds /
+	// completed aggregations.
+	MaxTime    float64
+	MaxUpdates int
+
+	// EvalEvery records a trace point once the aggregated local-iteration
+	// count crosses every EvalEvery iterations (default 100), on the global
+	// model — the same convention as the lock-step engines.
+	EvalEvery  int
+	EvalSubset int
+
+	// StragglerFactor optionally slows individual clients' compute (len
+	// must equal the client count; nil = all 1). Composes with the delay
+	// model's per-worker Jitter.
+	StragglerFactor []float64
+
+	// Compress selects the delta compression clients apply before
+	// uploading. Error feedback is rejected: a per-client residual is
+	// Theta(N*dim) state, exactly what client sharding exists to avoid.
+	Compress compress.Spec
+
+	// LinkAware caps the per-round arrival count at the number of links
+	// within SlowCutoff of the fastest observed upload, via the shared
+	// paramserver.ArrivalPolicy. Off, every round waits for exactly
+	// Participation arrivals.
+	LinkAware  bool
+	SlowCutoff float64
+
+	// RecordEvents retains the textual event trace (EventTrace), used by
+	// the determinism and golden tests. Off for large runs — the trace
+	// grows with every event.
+	RecordEvents bool
+
+	Seed uint64
+}
+
+func (c AsyncConfig) validate(n int) error {
+	if c.BatchSize < 1 {
+		return fmt.Errorf("cluster: async batch size %d", c.BatchSize)
+	}
+	if c.Tau < 1 {
+		return fmt.Errorf("cluster: async tau %d < 1", c.Tau)
+	}
+	if c.Participation < 1 || c.Participation > n {
+		return fmt.Errorf("cluster: participation %d out of [1,%d]", c.Participation, n)
+	}
+	if c.InFlight != 0 && (c.InFlight < c.Participation || c.InFlight > n) {
+		return fmt.Errorf("cluster: in-flight %d out of [participation %d, clients %d]",
+			c.InFlight, c.Participation, n)
+	}
+	if c.MaxTime <= 0 && c.MaxUpdates <= 0 {
+		return fmt.Errorf("cluster: async run has no stop condition")
+	}
+	if math.IsNaN(c.LR) || math.IsInf(c.LR, 0) || c.LR <= 0 {
+		return fmt.Errorf("cluster: async lr %v (want finite > 0)", c.LR)
+	}
+	if math.IsNaN(c.ServerLR) || math.IsInf(c.ServerLR, 0) || c.ServerLR < 0 {
+		return fmt.Errorf("cluster: server lr %v (want finite >= 0; 0 uses the default 1)", c.ServerLR)
+	}
+	if math.IsNaN(c.StalenessPow) || math.IsInf(c.StalenessPow, 0) || c.StalenessPow < 0 {
+		return fmt.Errorf("cluster: staleness pow %v (want finite >= 0; 0 uses the default 1)", c.StalenessPow)
+	}
+	if c.MaxStaleness < 0 {
+		return fmt.Errorf("cluster: max staleness %d < 0", c.MaxStaleness)
+	}
+	if c.StragglerFactor != nil {
+		if len(c.StragglerFactor) != n {
+			return fmt.Errorf("cluster: straggler factors %d != clients %d", len(c.StragglerFactor), n)
+		}
+		for i, v := range c.StragglerFactor {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return fmt.Errorf("cluster: client %d straggler factor %v (want finite > 0)", i, v)
+			}
+		}
+	}
+	if c.Compress.Enabled() {
+		if err := c.Compress.Validate(); err != nil {
+			return err
+		}
+		if c.Compress.ErrorFeedback {
+			return fmt.Errorf("cluster: async engine does not support error feedback " +
+				"(a per-client residual is Theta(clients*dim) state; client sharding exists to avoid it)")
+		}
+	}
+	return nil
+}
+
+// asyncClient is one simulated client. Idle, its whole state is the two RNG
+// streams; in flight, it additionally holds the compressed wire message it
+// will deliver. It never owns a materialized replica.
+type asyncClient struct {
+	shard  *data.Dataset
+	model  *rng.Rand // sampler stream — the idle client's "seed"
+	delayR *rng.Rand // compute/transfer-time stream
+
+	inflight bool
+	msg      compress.Message
+	base     int     // global version pulled at dispatch
+	steps    int     // local iterations performed this activation
+	upTime   float64 // sampled upload transfer time (link-aware signal)
+}
+
+// AsyncStats summarizes a completed async run.
+type AsyncStats struct {
+	Updates       int     // global aggregations applied
+	Applied       int     // arrivals folded into an aggregate
+	Expired       int     // arrivals discarded for exceeding MaxStaleness
+	MeanStaleness float64 // mean version lag of applied arrivals
+	UpBytes       int64   // total client->server wire bytes
+	DownBytes     int64   // total server->client wire bytes
+
+	// MaterializedReplicas is the number of persistent replica-sized model
+	// buffers the engine owns (the compute slot and the evaluation model);
+	// ScratchVectors the dim-length aggregation scratch vectors (global,
+	// aggregate, decode, delta). Together they are the engine's entire
+	// dense-model footprint — independent of the client count.
+	MaterializedReplicas int
+	ScratchVectors       int
+	PeakInFlight         int // most clients concurrently in flight
+}
+
+// AsyncEngine runs event-driven partial-participation training over a
+// population of sharded clients.
+type AsyncEngine struct {
+	cfg      AsyncConfig
+	n, dim   int
+	inflight int // target concurrently-active clients
+
+	global  []float64
+	version int
+
+	clients []asyncClient
+	idle    []int // idle client ids; sampled uniformly at dispatch
+
+	q      *events.Queue
+	clocks *events.Clocks
+	evlog  *events.Trace
+
+	delay     *delaymodel.Model
+	slow      []float64
+	serverRng *rng.Rand
+
+	com  comm.Communicator
+	comp compress.Compressor // shared: compression happens serially at dispatch
+
+	computeModel *nn.Network // THE materialized replica slot
+	opt          *sgd.Optimizer
+	deltaBuf     []float64
+	decodeBuf    []float64
+	aggBuf       []float64
+	freeDense    [][]float64 // recycled dense message buffers (no-compression path)
+
+	policy    paramserver.ArrivalPolicy
+	curK      int       // arrivals the current round waits for
+	arrivals  int       // arrivals accumulated toward the current round
+	wsum      float64   // staleness-weight mass of the current round
+	aggIters  int       // local iterations in the current round
+	linkTimes []float64 // contributors' upload times (current round)
+	lastLink  []float64 // previous round's upload times (policy input)
+
+	evalModel *nn.Network
+	testSet   *data.Dataset
+	evalBatch data.Batch
+	testBatch data.Batch
+
+	stats     AsyncStats
+	staleSum  int64
+	nInFlight int
+}
+
+// NewAsync builds an event-driven engine over len(shards) clients. The
+// delay model must have one worker per client; its per-worker Links price
+// each client's pulls and uploads, and its Jitter (if set) gives every
+// client a persistent compute-speed factor so arrival order is not
+// degenerate on homogeneous configurations.
+func NewAsync(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Dataset,
+	dm *delaymodel.Model, cfg AsyncConfig) (*AsyncEngine, error) {
+	n := len(shards)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no shards")
+	}
+	if dm.M != n {
+		return nil, fmt.Errorf("cluster: delay model has %d workers, got %d shards", dm.M, n)
+	}
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
+	if err := dm.CheckLinks(); err != nil {
+		return nil, err
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 100
+	}
+	if cfg.ServerLR == 0 {
+		cfg.ServerLR = 1
+	}
+	if cfg.StalenessPow == 0 {
+		cfg.StalenessPow = 1
+	}
+	if cfg.MaxStaleness == 0 {
+		cfg.MaxStaleness = 64
+	}
+	if cfg.InFlight == 0 {
+		cfg.InFlight = 2 * cfg.Participation
+		if cfg.InFlight > n {
+			cfg.InFlight = n
+		}
+	}
+
+	root := rng.New(cfg.Seed)
+	e := &AsyncEngine{
+		cfg:          cfg,
+		n:            n,
+		dim:          proto.ParamLen(),
+		inflight:     cfg.InFlight,
+		global:       append([]float64(nil), proto.Params()...),
+		clients:      make([]asyncClient, n),
+		q:            events.NewQueue(root.Uint64()),
+		clocks:       events.NewClocks(n),
+		delay:        dm,
+		serverRng:    root.Split(),
+		com:          comm.New(comm.AllGather, n),
+		computeModel: proto.Clone(),
+		opt:          sgd.NewOptimizer(sgd.Config{}),
+		deltaBuf:     make([]float64, proto.ParamLen()),
+		decodeBuf:    make([]float64, proto.ParamLen()),
+		aggBuf:       make([]float64, proto.ParamLen()),
+		policy: paramserver.ArrivalPolicy{
+			K: cfg.Participation, LinkAware: cfg.LinkAware, SlowCutoff: cfg.SlowCutoff,
+		},
+		evalModel: proto.Clone(),
+		testSet:   test,
+	}
+	if cfg.RecordEvents {
+		e.evlog = &events.Trace{}
+	}
+	e.slow = make([]float64, n)
+	for i := range e.slow {
+		e.slow[i] = 1
+		if cfg.StragglerFactor != nil {
+			e.slow[i] = cfg.StragglerFactor[i]
+		}
+	}
+	jit, err := dm.JitterScales()
+	if err != nil {
+		return nil, err
+	}
+	if jit != nil {
+		for i := range e.slow {
+			e.slow[i] *= jit[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.clients[i] = asyncClient{
+			shard:  shards[i],
+			model:  root.Split(),
+			delayR: root.Split(),
+		}
+		e.idle = append(e.idle, i)
+	}
+	if cfg.Compress.Enabled() {
+		c, err := cfg.Compress.New(root.Split())
+		if err != nil {
+			return nil, err
+		}
+		e.comp = c
+	}
+	evalDS := trainEval
+	if cfg.EvalSubset > 0 && cfg.EvalSubset < trainEval.N() {
+		idx := root.Split().Perm(trainEval.N())[:cfg.EvalSubset]
+		evalDS = trainEval.Subset(idx)
+	}
+	e.evalBatch = data.FullBatch(evalDS)
+	if test != nil {
+		e.testBatch = data.FullBatch(test)
+	}
+	e.curK = e.policy.Effective(nil, cfg.Participation)
+	e.stats.MaterializedReplicas = 2 // compute slot + eval model
+	e.stats.ScratchVectors = 4       // global, agg, decode, delta
+	return e, nil
+}
+
+// Clients returns the simulated population size N.
+func (e *AsyncEngine) Clients() int { return e.n }
+
+// Dim returns the model parameter count.
+func (e *AsyncEngine) Dim() int { return e.dim }
+
+// GlobalParams returns a copy of the current global parameters.
+func (e *AsyncEngine) GlobalParams() []float64 {
+	return append([]float64(nil), e.global...)
+}
+
+// Version returns the number of applied aggregations.
+func (e *AsyncEngine) Version() int { return e.version }
+
+// Stats returns the run summary (valid after Run).
+func (e *AsyncEngine) Stats() AsyncStats {
+	s := e.stats
+	if s.Applied > 0 {
+		s.MeanStaleness = float64(e.staleSum) / float64(s.Applied)
+	}
+	return s
+}
+
+// EventTrace returns the recorded event log ("" unless
+// AsyncConfig.RecordEvents); the golden and determinism tests pin it.
+func (e *AsyncEngine) EventTrace() string {
+	if e.evlog == nil {
+		return ""
+	}
+	return e.evlog.String()
+}
+
+// TrainLoss evaluates the training loss of the global model.
+func (e *AsyncEngine) TrainLoss() float64 {
+	e.evalModel.SetParams(e.global)
+	return e.evalModel.Loss(e.evalBatch)
+}
+
+// TestAccuracy evaluates test accuracy of the global model; NaN without a
+// test set.
+func (e *AsyncEngine) TestAccuracy() float64 {
+	if e.testSet == nil {
+		return math.NaN()
+	}
+	e.evalModel.SetParams(e.global)
+	return e.evalModel.Accuracy(e.testBatch)
+}
+
+// stalenessWeight is the polynomial decay (1+s)^-pow: fresh contributions
+// (s=0) weigh 1 regardless of pow, and pow=0 degrades to unweighted
+// averaging.
+func stalenessWeight(pow float64, s int) float64 {
+	if s < 0 {
+		panic(fmt.Sprintf("cluster: negative staleness %d", s))
+	}
+	if pow == 0 || s == 0 {
+		return 1
+	}
+	return math.Pow(1+float64(s), -pow)
+}
+
+// dispatchNew samples one idle client uniformly (seeded) and schedules its
+// Dispatch at time t. Returns false when no client is idle.
+func (e *AsyncEngine) dispatchNew(t float64) bool {
+	if len(e.idle) == 0 {
+		return false
+	}
+	j := e.serverRng.Intn(len(e.idle))
+	id := e.idle[j]
+	e.idle[j] = e.idle[len(e.idle)-1]
+	e.idle = e.idle[:len(e.idle)-1]
+	// The client is committed (off the idle list) the moment its Dispatch
+	// is scheduled — counting here, not at dispatch time, is what keeps the
+	// refill loop from over-committing past InFlight.
+	e.clients[id].inflight = true
+	e.nInFlight++
+	if e.nInFlight > e.stats.PeakInFlight {
+		e.stats.PeakInFlight = e.nInFlight
+	}
+	e.q.Push(events.Event{Time: t, Worker: id, Kind: events.Dispatch})
+	return true
+}
+
+// denseBuf returns a recycled (or fresh) dim-length buffer for the
+// no-compression wire path; released buffers come back via releaseMsg, so
+// the steady-state dense path allocates nothing.
+func (e *AsyncEngine) denseBuf() []float64 {
+	if k := len(e.freeDense); k > 0 {
+		b := e.freeDense[k-1]
+		e.freeDense = e.freeDense[:k-1]
+		return b
+	}
+	return make([]float64, e.dim)
+}
+
+// releaseMsg evicts a delivered (or expired) message, recycling its dense
+// buffer if it owned one.
+func (e *AsyncEngine) releaseMsg(c *asyncClient) {
+	if e.comp == nil && c.msg.Dense != nil {
+		e.freeDense = append(e.freeDense, c.msg.Dense)
+	}
+	c.msg = compress.Message{}
+}
+
+// dispatch materializes client i into the compute slot, runs its tau local
+// steps eagerly (see the package comment — the numerics depend only on the
+// dispatch-time global model and the client's own streams), evicts it to a
+// compressed delta message, and schedules its Arrival on its own clock.
+func (e *AsyncEngine) dispatch(i int, t float64) {
+	c := &e.clients[i]
+
+	// Pull: the client downloads the dense global model on its own link.
+	downBytes := 8 * e.dim
+	e.stats.DownBytes += int64(e.com.Pull(i, downBytes).DownBytes)
+	downTime := e.delay.SampleTransfer(c.delayR, i, downBytes)
+
+	// Materialize + local work (the only replica ever materialized).
+	e.computeModel.SetParams(e.global)
+	sampler := data.NewSampler(c.shard, e.cfg.BatchSize, c.model)
+	e.opt.SetLR(e.cfg.LR)
+	for k := 0; k < e.cfg.Tau; k++ {
+		b := sampler.Next()
+		e.computeModel.LossGrad(b, e.deltaBuf)
+		e.opt.Step(e.computeModel.Params(), e.deltaBuf)
+	}
+	compute := 0.0
+	for k := 0; k < e.cfg.Tau; k++ {
+		compute += e.delay.Y.Sample(c.delayR)
+	}
+	compute *= e.slow[i]
+
+	// Evict: the client's surviving state is the wire message.
+	tensor.Sub(e.deltaBuf, e.computeModel.Params(), e.global)
+	if e.comp != nil {
+		msg, err := e.comp.Compress(e.deltaBuf)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: client %d compress: %v", i, err))
+		}
+		c.msg = msg
+	} else {
+		buf := e.denseBuf()
+		copy(buf, e.deltaBuf)
+		c.msg = compress.Message{Dim: e.dim, Enc: compress.EncDense, Dense: buf}
+	}
+	c.base = e.version
+	c.steps = e.cfg.Tau
+	c.upTime = e.delay.SampleTransfer(c.delayR, i, c.msg.Bytes())
+
+	arrival := t + downTime + compute + c.upTime
+	e.clocks.AdvanceTo(i, arrival)
+	e.q.Push(events.Event{Time: arrival, Worker: i, Kind: events.Arrival})
+}
+
+// arrive folds client i's delivered message into the pending aggregate (or
+// discards it as expired, immediately dispatching a replacement) and reports
+// whether the round completed. Non-expired early arrivals do NOT trigger a
+// replacement — dispatching happens at round boundaries, which is what makes
+// Participation == InFlight == N the exact synchronous barrier (every client
+// contributes exactly once per round) and keeps a fast client from counting
+// twice toward one aggregate.
+func (e *AsyncEngine) arrive(i int, t float64) (roundDone bool) {
+	c := &e.clients[i]
+	c.inflight = false
+	e.nInFlight--
+	e.idle = append(e.idle, i)
+
+	s := e.version - c.base
+	if s > e.cfg.MaxStaleness {
+		e.stats.Expired++
+		e.releaseMsg(c)
+		e.dispatchNew(t)
+		return false
+	}
+	pay, err := e.com.Push(i, c.msg, e.decodeBuf)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: client %d push: %v", i, err))
+	}
+	e.stats.UpBytes += int64(pay.UpBytes)
+	e.releaseMsg(c)
+
+	w := stalenessWeight(e.cfg.StalenessPow, s)
+	for j, v := range e.decodeBuf {
+		e.aggBuf[j] += w * v
+	}
+	e.wsum += w
+	e.arrivals++
+	e.aggIters += c.steps
+	e.staleSum += int64(s)
+	e.stats.Applied++
+	e.linkTimes = append(e.linkTimes, c.upTime)
+	return e.arrivals >= e.curK
+}
+
+// applyRound commits the staleness-weighted aggregate, advances the global
+// version, and re-arms the arrival policy with this round's observed upload
+// times.
+func (e *AsyncEngine) applyRound() (iters int) {
+	scale := e.cfg.ServerLR / e.wsum
+	for j, v := range e.aggBuf {
+		e.global[j] += scale * v
+		e.aggBuf[j] = 0
+	}
+	e.version++
+	e.stats.Updates++
+	iters = e.aggIters
+
+	e.lastLink = append(e.lastLink[:0], e.linkTimes...)
+	e.curK = e.policy.Effective(e.lastLink, e.cfg.Participation)
+	e.linkTimes = e.linkTimes[:0]
+	e.wsum = 0
+	e.arrivals = 0
+	e.aggIters = 0
+	return iters
+}
+
+// Run executes the event loop until a stop condition is reached and returns
+// the training trace. Deterministic given cfg.Seed.
+func (e *AsyncEngine) Run(traceName string) *metrics.Trace {
+	trace := metrics.NewTrace(traceName)
+	now := 0.0
+	totalIters := 0
+
+	record := func() {
+		trace.Add(metrics.Point{
+			Time: now, Iter: totalIters, Loss: e.TrainLoss(),
+			Acc: math.NaN(), Tau: e.cfg.Tau, LR: e.cfg.LR,
+		})
+	}
+	record()
+	nextEval := e.cfg.EvalEvery
+
+	for i := 0; i < e.inflight; i++ {
+		e.dispatchNew(0)
+	}
+
+	for {
+		ev, ok := e.q.Pop()
+		if !ok {
+			break
+		}
+		if e.cfg.MaxTime > 0 && ev.Time >= e.cfg.MaxTime {
+			break
+		}
+		now = ev.Time
+		if e.evlog != nil {
+			e.evlog.Record(ev)
+		}
+		switch ev.Kind {
+		case events.Dispatch:
+			e.dispatch(ev.Worker, ev.Time)
+		case events.Arrival:
+			if e.arrive(ev.Worker, ev.Time) {
+				totalIters += e.applyRound()
+				if totalIters >= nextEval {
+					record()
+					for nextEval <= totalIters {
+						nextEval += e.cfg.EvalEvery
+					}
+				}
+				// Refill the in-flight set from the idle population; the
+				// clients that just reported are eligible for resampling.
+				for e.nInFlight < e.inflight && e.dispatchNew(ev.Time) {
+				}
+				if e.cfg.MaxUpdates > 0 && e.version >= e.cfg.MaxUpdates {
+					record()
+					return trace
+				}
+			}
+		}
+	}
+	record()
+	return trace
+}

@@ -394,6 +394,19 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 			e.slow[i] = 1
 		}
 	}
+	// Per-worker compute jitter (delaymodel.Model.Jitter) composes with the
+	// configured straggler factors; a nil Jitter draws nothing, keeping
+	// every legacy trace bit-identical. Copy before scaling — e.slow may
+	// alias the caller's StragglerFactor slice.
+	if jit, err := dm.JitterScales(); err != nil {
+		return nil, err
+	} else if jit != nil {
+		scaled := make([]float64, m)
+		for i := range scaled {
+			scaled[i] = e.slow[i] * jit[i]
+		}
+		e.slow = scaled
+	}
 	if cfg.BlockMomentum != 0 {
 		e.ublock = make([]float64, e.dim)
 	}

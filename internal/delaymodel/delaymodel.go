@@ -118,6 +118,41 @@ type Model struct {
 	// model: every transfer is charged against the shared Bandwidth, which
 	// is the legacy behavior bit for bit.
 	Links []Link
+
+	// Jitter optionally gives every worker a persistent multiplicative
+	// compute-speed factor, drawn once per worker from this distribution
+	// with a stream seeded by JitterSeed (see JitterScales). It breaks the
+	// arrival-order degeneracy of homogeneous clusters in the event-driven
+	// engine — with identical links and compute times, every worker would
+	// finish every round at the same instant and "the first K arrivals"
+	// would carry no information. nil (the zero config) draws nothing and
+	// keeps every existing trace bit-identical.
+	Jitter rng.Distribution
+	// JitterSeed seeds the per-worker jitter draws, independently of the
+	// engines' seeds so enabling jitter never shifts their RNG streams.
+	JitterSeed uint64
+}
+
+// JitterScales returns the per-worker compute-speed factors: M samples of
+// Jitter from a stream seeded by JitterSeed, so the factors are a pure
+// function of the model configuration. A nil Jitter returns nil (all
+// workers at factor 1, the legacy behavior). Samples must be positive and
+// finite — like CheckLinks, a degenerate factor is rejected instead of
+// silently poisoning every round's compute time.
+func (dm *Model) JitterScales() ([]float64, error) {
+	if dm.Jitter == nil {
+		return nil, nil
+	}
+	r := rng.New(dm.JitterSeed)
+	s := make([]float64, dm.M)
+	for i := range s {
+		v := dm.Jitter.Sample(r)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return nil, fmt.Errorf("delaymodel: worker %d jitter factor %v (want finite > 0)", i, v)
+		}
+		s[i] = v
+	}
+	return s, nil
 }
 
 // CheckLinks validates the per-worker link table: the length must match the
@@ -262,6 +297,30 @@ func (dm *Model) SampleDScheduleInto(r *rng.Rand, bytesPerWorker []int, latHops,
 		}
 	}
 	return (d + slow) * dm.Scale.Factor(dm.M)
+}
+
+// SampleTransfer draws the wall-clock cost of ONE point-to-point transfer
+// of `bytes` on worker i's link: a D0 latency sample plus the worker's link
+// latency plus bytes over the link's effective bandwidth (the worker's own,
+// falling back to the shared Bandwidth; 0 = infinite). Unlike the round
+// samplers it applies no Scale factor and takes no max across workers — it
+// prices a single worker's pull or push in the event-driven engine, where
+// transfers do not form synchronized collectives and each worker's arrival
+// is scheduled on its own virtual clock.
+func (dm *Model) SampleTransfer(r *rng.Rand, worker, bytes int) float64 {
+	d := dm.D0.Sample(r)
+	bw := dm.Bandwidth
+	if dm.Links != nil {
+		l := dm.Links[worker]
+		d += l.Latency
+		if l.Bandwidth > 0 {
+			bw = l.Bandwidth
+		}
+	}
+	if bw > 0 && bytes > 0 {
+		d += float64(bytes) / bw
+	}
+	return d
 }
 
 // ParseLinks parses the per-worker link flag syntax: a comma-separated list

@@ -525,3 +525,94 @@ func TestParseLinksRejectsDegenerateEntries(t *testing.T) {
 		t.Fatalf("parsed %+v", links)
 	}
 }
+
+func TestJitterScalesNilIsZeroConfig(t *testing.T) {
+	dm := New(4, rng.Constant{Value: 1}, rng.Constant{Value: 1}, nil)
+	s, err := dm.JitterScales()
+	if err != nil || s != nil {
+		t.Fatalf("nil jitter must draw nothing, got %v, %v", s, err)
+	}
+}
+
+func TestJitterScalesSeededAndPerWorker(t *testing.T) {
+	dm := New(8, rng.Constant{Value: 1}, rng.Constant{Value: 1}, nil)
+	dm.Jitter = rng.Pareto{Xm: 1, Alpha: 2}
+	dm.JitterSeed = 7
+	a, err := dm.JitterScales()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := dm.JitterScales()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("worker %d jitter not reproducible: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 1 {
+			t.Fatalf("worker %d Pareto(1,2) factor %v < Xm", i, a[i])
+		}
+	}
+	distinct := false
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("all workers drew the same jitter factor")
+	}
+	dm.JitterSeed = 8
+	c, _ := dm.JitterScales()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestJitterScalesRejectsDegenerateDraws(t *testing.T) {
+	dm := New(2, rng.Constant{Value: 1}, rng.Constant{Value: 1}, nil)
+	for _, bad := range []rng.Distribution{
+		rng.Constant{Value: 0},
+		rng.Constant{Value: -1},
+		rng.Constant{Value: math.Inf(1)},
+		rng.Constant{Value: math.NaN()},
+	} {
+		dm.Jitter = bad
+		if _, err := dm.JitterScales(); err == nil {
+			t.Errorf("accepted jitter draw %v", bad.Sample(rng.New(1)))
+		}
+	}
+}
+
+func TestSampleTransferPricesLinkAndBytes(t *testing.T) {
+	dm := New(2, rng.Constant{Value: 1}, rng.Constant{Value: 0.5}, nil)
+	dm.Bandwidth = 100
+	r := rng.New(3)
+	// Homogeneous: D0 + bytes/bandwidth.
+	if got, want := dm.SampleTransfer(r, 0, 200), 0.5+2.0; got != want {
+		t.Fatalf("transfer %v, want %v", got, want)
+	}
+	// Zero bytes: latency only.
+	if got := dm.SampleTransfer(r, 0, 0); got != 0.5 {
+		t.Fatalf("zero-byte transfer %v, want 0.5", got)
+	}
+	// Per-worker link: added latency, overridden bandwidth.
+	dm.Links = []Link{{}, {Latency: 1, Bandwidth: 50}}
+	if got, want := dm.SampleTransfer(r, 1, 200), 0.5+1+4.0; got != want {
+		t.Fatalf("slow-link transfer %v, want %v", got, want)
+	}
+	// Inherited bandwidth on a zero link entry.
+	if got, want := dm.SampleTransfer(r, 0, 200), 0.5+2.0; got != want {
+		t.Fatalf("inherit-link transfer %v, want %v", got, want)
+	}
+	// Infinite bandwidth: bytes are free.
+	dm.Bandwidth = 0
+	dm.Links = nil
+	if got := dm.SampleTransfer(r, 0, 1<<20); got != 0.5 {
+		t.Fatalf("infinite-bandwidth transfer %v, want 0.5", got)
+	}
+}

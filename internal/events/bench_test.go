@@ -1,0 +1,22 @@
+package events
+
+import "testing"
+
+// BenchmarkQueuePushPop measures raw scheduler throughput: push 4096 events
+// with colliding times (exercising the tie-break path), then drain. Events
+// per second is 8192 / (ns_per_op * 1e-9); cmd/bench records the same
+// workload into BENCH_<n>.json as EventQueue/4096.
+func BenchmarkQueuePushPop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := NewQueue(uint64(i))
+		for j := 0; j < 4096; j++ {
+			q.Push(Event{Time: float64(j % 64), Worker: j & 255, Kind: Kind(j & 1)})
+		}
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}
+}

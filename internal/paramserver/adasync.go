@@ -17,7 +17,9 @@ type AdaSyncConfig struct {
 	// fastest observed link (RoundInfo.LinkTimes) — the Kas Hanna et al.
 	// 2022 direction of waiting only for the K fastest workers, so one
 	// straggling link never gates every update. Off (the zero value) the
-	// controller is exactly the loss-ratio rule.
+	// controller is exactly the loss-ratio rule. The cap is the shared
+	// ArrivalPolicy rule, the same one the event-driven cluster engine
+	// applies to its K-of-m aggregation.
 	LinkAware bool
 	// SlowCutoff is the multiple of the fastest link's transfer time beyond
 	// which a link is considered too slow to wait for (default 3).
@@ -71,6 +73,42 @@ func (a *AdaSync) K() int {
 		return a.lastK
 	}
 	return a.curK
+}
+
+// ArrivalPolicy is the K-of-m arrival rule, factored out of this
+// controller so the event-driven cluster engine and the K-async server
+// share one definition of "how many arrivals is a sync worth waiting for":
+// aggregate the first K arrivals, and — when LinkAware — never wait for
+// more workers than have links within SlowCutoff of the fastest observed
+// one (Kas Hanna et al. 2022). The zero SlowCutoff defaults to 3, matching
+// AdaSyncConfig.
+type ArrivalPolicy struct {
+	K          int
+	LinkAware  bool
+	SlowCutoff float64
+}
+
+// Effective returns the arrival count to wait for, given the most recent
+// per-worker transfer-time observations (nil before the first round): K
+// clamped into [1, m], then capped at FastLinkCount when LinkAware.
+func (p ArrivalPolicy) Effective(times []float64, m int) int {
+	k := p.K
+	if k < 1 {
+		k = 1
+	}
+	if k > m {
+		k = m
+	}
+	if p.LinkAware {
+		cutoff := p.SlowCutoff
+		if cutoff <= 1 {
+			cutoff = 3
+		}
+		if fast := FastLinkCount(times, m, cutoff); k > fast {
+			k = fast
+		}
+	}
+	return k
 }
 
 // FastLinkCount returns how many of the given per-worker transfer times are
@@ -134,13 +172,11 @@ func (a *AdaSync) Next(info RoundInfo, evalLoss func() float64) (int, float64) {
 	return a.lastK, a.cfg.LR
 }
 
-// capped applies the link-aware ceiling to the loss-rule K.
+// capped applies the link-aware ceiling to the loss-rule K via the shared
+// ArrivalPolicy (NewAdaSync defaulted SlowCutoff already; the loss rule
+// keeps curK in [K0, M], so the policy's clamp is a no-op here and the
+// result is bit-identical to the pre-policy cap).
 func (a *AdaSync) capped(k int, info RoundInfo) int {
-	if !a.cfg.LinkAware {
-		return k
-	}
-	if fast := FastLinkCount(info.LinkTimes, a.cfg.M, a.cfg.SlowCutoff); k > fast {
-		k = fast
-	}
-	return k
+	p := ArrivalPolicy{K: k, LinkAware: a.cfg.LinkAware, SlowCutoff: a.cfg.SlowCutoff}
+	return p.Effective(info.LinkTimes, a.cfg.M)
 }

@@ -161,3 +161,51 @@ func TestAdaSyncLinkAwareEndToEnd(t *testing.T) {
 		t.Fatalf("link-aware run not faster: %v vs %v sim-s for the same updates", awareClock, staticClock)
 	}
 }
+
+func TestArrivalPolicyClampsK(t *testing.T) {
+	cases := []struct {
+		name  string
+		p     ArrivalPolicy
+		times []float64
+		m     int
+		want  int
+	}{
+		{"zero K clamps to 1", ArrivalPolicy{K: 0}, nil, 8, 1},
+		{"negative K clamps to 1", ArrivalPolicy{K: -3}, nil, 8, 1},
+		{"K above m clamps to m", ArrivalPolicy{K: 20}, nil, 8, 8},
+		{"plain K passes through", ArrivalPolicy{K: 5}, []float64{1, 1, 100}, 8, 5},
+		{"link-aware, no observations, no cap", ArrivalPolicy{K: 5, LinkAware: true}, nil, 8, 5},
+		{"link-aware caps at fast links", ArrivalPolicy{K: 5, LinkAware: true},
+			[]float64{1, 1, 1, 100}, 8, 3},
+		{"link-aware default cutoff 3 keeps 2.9x", ArrivalPolicy{K: 4, LinkAware: true},
+			[]float64{1, 2.9, 10, 10}, 8, 2},
+		{"explicit cutoff widens the fast set", ArrivalPolicy{K: 4, LinkAware: true, SlowCutoff: 12},
+			[]float64{1, 2.9, 10, 10}, 8, 4},
+		{"cap never below 1", ArrivalPolicy{K: 4, LinkAware: true, SlowCutoff: 1.0001},
+			[]float64{1, 5, 5, 5}, 8, 1},
+		{"cap does not raise K", ArrivalPolicy{K: 2, LinkAware: true},
+			[]float64{1, 1, 1, 1}, 8, 2},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Effective(tc.times, tc.m); got != tc.want {
+			t.Errorf("%s: Effective = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestArrivalPolicyMatchesAdaSyncCap pins the refactor: the policy applied
+// to raw (K, LinkTimes) must equal what AdaSync.capped historically
+// computed — K itself without observations, FastLinkCount-capped with.
+func TestArrivalPolicyMatchesAdaSyncCap(t *testing.T) {
+	times := []float64{1, 1.5, 2, 50}
+	for _, k := range []int{1, 2, 3, 4} {
+		p := ArrivalPolicy{K: k, LinkAware: true, SlowCutoff: 3}
+		want := k
+		if fast := FastLinkCount(times, 4, 3); want > fast {
+			want = fast
+		}
+		if got := p.Effective(times, 4); got != want {
+			t.Errorf("K=%d: policy %d, legacy cap %d", k, got, want)
+		}
+	}
+}
