@@ -8,6 +8,7 @@
 //	adacomm -arch resnet -method fixed -tau 5 -budget 240
 //	adacomm -arch logistic -method fixed -tau 1 -workers 8 -lr 0.1
 //	adacomm -arch logistic -method fixed -tau 5 -compress topk:0.25+ef -bandwidth 128
+//	adacomm -arch logistic -method fixed -tau 5 -wire float32 -bandwidth 128
 //	adacomm -arch vgg -method adacomm -compress topk:0.05 -bandwidth 4096 -adapt-compression
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -topology tree
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -links "0:,0:,0:,0:25.6"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sgd"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -49,7 +51,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	compressFlag := flag.String("compress", "none",
-		"delta compression: none | identity | topk:0.01 | randk:0.05 | qsgd:4 (append +ef for error feedback)")
+		"delta compression: none | identity | topk:0.01 | randk:0.05 | qsgd:4 (append +ef for error feedback, +f32 for a float32 wire)")
+	wireFlag := flag.String("wire", "",
+		"wire value precision: float64 | float32 (halves every payload; model state stays float64)")
+	kernelWorkers := flag.Int("kernel-workers", 1,
+		"goroutines the tensor kernels may fan output-row panels across (bit-identical results at any setting; >1 only helps on multi-core hosts)")
 	bandwidth := flag.Float64("bandwidth", 0,
 		"per-link bandwidth in bytes per simulated second (0 = infinite, size-free broadcasts)")
 	adaptCompression := flag.Bool("adapt-compression", false,
@@ -78,6 +84,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
 		os.Exit(2)
 	}
+	wire, err := compress.ParseWire(*wireFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(2)
+	}
+	if *wireFlag != "" {
+		if spec.Wire == compress.WireFloat32 && wire == compress.WireFloat64 {
+			fmt.Fprintf(os.Stderr, "adacomm: -wire %s conflicts with the +f32 modifier in -compress %s\n",
+				*wireFlag, *compressFlag)
+			os.Exit(2)
+		}
+		spec.Wire = wire
+	}
+	if *kernelWorkers < 1 {
+		fmt.Fprintf(os.Stderr, "adacomm: -kernel-workers %d must be >= 1\n", *kernelWorkers)
+		os.Exit(2)
+	}
+	tensor.SetWorkers(*kernelWorkers)
 	if *bandwidth < 0 {
 		fmt.Fprintf(os.Stderr, "adacomm: -bandwidth %g must be >= 0 (0 = infinite)\n", *bandwidth)
 		os.Exit(2)

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The regression gate (-check) turns a committed BENCH_*.json into a CI
+// fence. Wall-clock comparisons across machines are noisy, so the gate
+// layers three checks of increasing portability:
+//
+//  1. ns/op on the PINNED KERNELS only — single-threaded, allocation-free
+//     compute loops whose relative speed is stable across hosts — with a
+//     configurable fractional tolerance (-tolerance).
+//  2. allocs/op on every benchmark present in both records: steady-state
+//     allocation counts are host-independent, so ANY increase fails.
+//  3. intra-run ratios: the blocked Gemm must beat the naive reference by
+//     ratioFloor within the SAME run, which needs no baseline at all.
+//
+// End-to-end benchmarks (Fig9Quick, AsyncRun, ...) are deliberately not
+// ns/op-gated: their wall clock depends on pool scheduling and host load.
+
+// pinnedKernels are the ns/op-gated benchmarks: pure compute hot loops.
+var pinnedKernels = []string{
+	"Gemm64",
+	"Gemm256/naive",
+	"Gemm256/blocked",
+	"StepVGGNano",
+	"StepResNetNano",
+}
+
+// ratioFloor is the minimum intra-run speedup of the blocked Gemm over the
+// retained naive reference at 256x256. The packed SSE2 micro-kernel
+// measures ~3x on the recording host (naive scalar code is pinned at one
+// multiply-add per cycle; the packed kernel retires two), so the 1.5x
+// floor leaves 2x headroom for runner jitter while still tripping if the
+// kernel ever falls back to scalar speed.
+const ratioFloor = 1.5
+
+// checkRegression compares the current run against a baseline record and
+// returns one human-readable violation per failed check.
+func checkRegression(curr, base map[string]Result, pinned []string, tol float64) []string {
+	var violations []string
+	for _, name := range pinned {
+		c, okC := curr[name]
+		b, okB := base[name]
+		if !okC || !okB {
+			continue // new or retired benchmark: nothing to compare
+		}
+		if limit := b.NsPerOp * (1 + tol); c.NsPerOp > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
+				name, c.NsPerOp, b.NsPerOp, tol*100))
+		}
+	}
+	// Allocation counts are deterministic per op: gate every shared bench.
+	names := make([]string, 0, len(curr))
+	for name := range curr {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		if c := curr[name]; c.AllocsPerOp > b.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d allocs/op exceeds baseline %d allocs/op",
+				name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return violations
+}
+
+// checkRatios asserts baseline-free invariants within a single run.
+func checkRatios(curr map[string]Result) []string {
+	var violations []string
+	naive, okN := curr["Gemm256/naive"]
+	blocked, okB := curr["Gemm256/blocked"]
+	if okN && okB && blocked.NsPerOp*ratioFloor > naive.NsPerOp {
+		violations = append(violations, fmt.Sprintf(
+			"Gemm256: blocked %.0f ns/op is not %.1fx faster than naive %.0f ns/op",
+			blocked.NsPerOp, ratioFloor, naive.NsPerOp))
+	}
+	return violations
+}

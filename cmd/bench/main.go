@@ -9,8 +9,17 @@
 //	bench -n 200               # iterations per micro-benchmark (default 100)
 //	bench -out BENCH_5.json -baseline BENCH_4.json -baseline-commit <sha>
 //	                           # embed the previous record as the baseline
+//	bench -check BENCH_7.json -tolerance 0.35
+//	                           # CI regression gate: re-run and compare
 //
 // Rewriting an existing -out file preserves its baseline section.
+//
+// In -check mode the exit status is the verdict: 0 when the current run is
+// within tolerance of the committed record, 1 on a regression (pinned-kernel
+// ns/op past the tolerance, any allocs/op increase, or the blocked Gemm
+// losing its margin over the naive reference — see gate.go), 2 on usage
+// errors. CI runs this on every push unless the commit message carries a
+// `[bench-skip]` marker.
 //
 // The convention (see ROADMAP.md): each perf-relevant PR N runs
 // `go run ./cmd/bench -out BENCH_<N>.json` on an idle machine and commits
@@ -28,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -101,6 +111,31 @@ func gemmSetup() func() {
 		b.Data[i] = float64(i % 5)
 	}
 	return func() { tensor.Gemm(1, a, b, 0, c) }
+}
+
+// gemm256Setup is the kernel acceptance benchmark: a dense (no exact
+// zeros, so the naive kernel's zero-skip never fires) 256x256x256 product,
+// either through the retained naive reference or the blocked kernel at the
+// given worker count. The blocked/naive ratio within one run is asserted
+// by the -check gate.
+func gemm256Setup(naive bool, workers int) func() {
+	const n = 256
+	a := tensor.NewMatrix(n, n)
+	b := tensor.NewMatrix(n, n)
+	c := tensor.NewMatrix(n, n)
+	r := rng.New(21)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64() + 2
+		b.Data[i] = r.NormFloat64()
+	}
+	if naive {
+		return func() { tensor.GemmNaive(1, a, b, 0, c) }
+	}
+	return func() {
+		old := tensor.SetWorkers(workers)
+		tensor.Gemm(1, a, b, 0, c)
+		tensor.SetWorkers(old)
+	}
 }
 
 func stepSetup(net *nn.Network, dim int) func() {
@@ -236,7 +271,17 @@ func main() {
 		"embed this BENCH_*.json's benchmarks as the baseline of the new record")
 	baselineCommit := flag.String("baseline-commit", "",
 		"commit label recorded alongside -baseline")
+	check := flag.String("check", "",
+		"regression gate: compare this run against the named BENCH_*.json and exit 1 on regression")
+	runFilter := flag.String("run", "",
+		"only run benchmarks whose name contains this substring (local iteration; CI runs all)")
+	tolerance := flag.Float64("tolerance", 0.35,
+		"fractional ns/op slowdown allowed on pinned kernels in -check mode")
 	flag.Parse()
+	if *tolerance < 0 {
+		fmt.Fprintln(os.Stderr, "bench: -tolerance must be non-negative")
+		os.Exit(2)
+	}
 
 	shape := data.ImageShape{Channels: 3, Height: 8, Width: 8}
 	benches := []struct {
@@ -245,6 +290,11 @@ func main() {
 		fn   func() func()
 	}{
 		{"Gemm64", 0, gemmSetup},
+		{"Gemm256/naive", 30, func() func() { return gemm256Setup(true, 1) }},
+		{"Gemm256/blocked", 30, func() func() { return gemm256Setup(false, 1) }},
+		// The parallel variant only separates from /blocked on multi-core
+		// hosts; on a 1-core recorder it documents the dispatch overhead.
+		{"Gemm256/blocked-par4", 30, func() func() { return gemm256Setup(false, 4) }},
 		{"StepVGGNano", 0, func() func() { return stepSetup(nn.NewVGGNano(shape, 4), shape.Len()) }},
 		{"StepResNetNano", 0, func() func() { return stepSetup(nn.NewResNetNano(shape, 4), shape.Len()) }},
 		{"PASGDRound/serial", 0, func() func() { return pasgdSetup(1) }},
@@ -281,6 +331,9 @@ func main() {
 		Benchmarks: map[string]Result{},
 	}
 	for _, bench := range benches {
+		if *runFilter != "" && !strings.Contains(bench.name, *runFilter) {
+			continue
+		}
 		iters := bench.n
 		if iters == 0 {
 			iters = *n
@@ -289,6 +342,29 @@ func main() {
 		rec.Benchmarks[bench.name] = res
 		fmt.Fprintf(os.Stderr, "%-20s %14.0f ns/op %12d B/op %8d allocs/op (n=%d)\n",
 			bench.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+	}
+
+	if *check != "" {
+		var base Record
+		raw, err := os.ReadFile(*check)
+		if err == nil {
+			err = json.Unmarshal(raw, &base)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -check: %v\n", err)
+			os.Exit(2)
+		}
+		violations := checkRegression(rec.Benchmarks, base.Benchmarks, pinnedKernels, *tolerance)
+		violations = append(violations, checkRatios(rec.Benchmarks)...)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "bench: regression: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: gate ok against %s (tolerance %.0f%%)\n",
+			*check, *tolerance*100)
+		return
 	}
 
 	if *baselineFile != "" {

@@ -12,6 +12,8 @@
 //	figures -csv out/       # also write trace CSVs into out/
 //	figures -workers 8      # run up to 8 methods per figure concurrently
 //	figures -async          # async-vs-sync ablation (event-driven engine)
+//	figures -wire float32   # float32-vs-float64 wire ablation
+//	figures -gossip -wire float32  # gossip grid with narrowed compressed cells
 //
 // Each figure's methods are independent training runs, so they execute
 // concurrently on the experiment pool (default width GOMAXPROCS); the
@@ -34,8 +36,10 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/compress"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -53,11 +57,25 @@ func main() {
 		"run the gossip-compression ablation grid (CHOCO ring vs shared-reference averaging) instead of the paper figures")
 	async := flag.Bool("async", false,
 		"run the async-vs-sync ablation (event-driven K-of-m vs round-barrier engines under a 10x straggler) instead of the paper figures")
+	wireFlag := flag.String("wire", "",
+		"with -gossip: wire precision (float64 | float32) of the compressed cells; alone, -wire float32 runs the float32-vs-float64 wire ablation")
+	kernelWorkers := flag.Int("kernel-workers", 1,
+		"goroutines the tensor kernels may fan output-row panels across (bit-identical results at any setting; >1 oversubscribes when the experiment pool is already saturated)")
 	flag.Parse()
 
 	if *workers > 0 {
 		experiments.SetWorkers(*workers)
 	}
+	wire, err := compress.ParseWire(*wireFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(2)
+	}
+	if *kernelWorkers < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -kernel-workers %d must be >= 1\n", *kernelWorkers)
+		os.Exit(2)
+	}
+	tensor.SetWorkers(*kernelWorkers)
 
 	if *bytes < 0 || *bandwidth < 0 {
 		fmt.Fprintf(os.Stderr, "figures: -bytes %d and -bandwidth %g must be >= 0\n", *bytes, *bandwidth)
@@ -77,6 +95,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures: -gossip and -async are separate ablations; pick one")
 		os.Exit(2)
 	}
+	// Standalone -wire runs the wire ablation; with -gossip it narrows the
+	// grid's compressed cells instead. Any other combination is rejected.
+	if *wireFlag != "" && !*gossip {
+		if *async || *fig != 0 || *table != 0 || *bytes != 0 || *csvDir != "" {
+			fmt.Fprintln(os.Stderr, "figures: -wire runs only the wire ablation (or modifies -gossip); it cannot combine with -fig/-table/-bytes/-csv/-async")
+			os.Exit(2)
+		}
+		if wire != compress.WireFloat32 {
+			fmt.Fprintln(os.Stderr, "figures: the wire ablation already includes the float64 baseline; use -wire float32")
+			os.Exit(2)
+		}
+		experiments.PrintWireAblation(out, experiments.WireAblation(scale))
+		return
+	}
 	if *async {
 		if *fig != 0 || *table != 0 || *bytes != 0 || *csvDir != "" {
 			fmt.Fprintln(os.Stderr, "figures: -async runs only the async ablation; it cannot combine with -fig/-table/-bytes/-csv")
@@ -92,6 +124,7 @@ func main() {
 			os.Exit(2)
 		}
 		spec := experiments.DefaultGossipGrid(scale)
+		spec.Wire = wire
 		if *bandwidth > 0 {
 			spec.Bandwidth = *bandwidth
 		}

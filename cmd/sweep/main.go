@@ -11,7 +11,9 @@
 //	sweep -ablation t0       # interval length sensitivity
 //	sweep -ablation delay    # constant vs exponential vs Pareto Y
 //	sweep -ablation gossip   # CHOCO ring gossip vs shared-reference averaging
+//	sweep -ablation gossip -wire float32  # ... with narrowed compressed cells
 //	sweep -ablation async    # event-driven K-of-m vs round-barrier engines
+//	sweep -ablation wire     # float32 vs float64 wire at fixed tau
 //	sweep -ablation all
 //
 // Grid cells are independent configurations and run concurrently on the
@@ -24,19 +26,39 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/compress"
 	"repro/internal/experiments"
+	"repro/internal/tensor"
 )
 
 func main() {
-	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | async | all")
+	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | async | wire | all")
 	quick := flag.Bool("quick", false, "use reduced sizes")
 	workers := flag.Int("workers", 0,
 		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
+	wireFlag := flag.String("wire", "",
+		"wire precision (float64 | float32) of the gossip grid's compressed cells; only meaningful with -ablation gossip or all")
+	kernelWorkers := flag.Int("kernel-workers", 1,
+		"goroutines the tensor kernels may fan output-row panels across (bit-identical results at any setting; >1 oversubscribes when the experiment pool is already saturated)")
 	flag.Parse()
 
 	if *workers > 0 {
 		experiments.SetWorkers(*workers)
 	}
+	wire, err := compress.ParseWire(*wireFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(2)
+	}
+	if *wireFlag != "" && *which != "gossip" && *which != "all" {
+		fmt.Fprintf(os.Stderr, "sweep: -wire only modifies the gossip grid; -ablation %s ignores it (use -ablation gossip or all)\n", *which)
+		os.Exit(2)
+	}
+	if *kernelWorkers < 1 {
+		fmt.Fprintf(os.Stderr, "sweep: -kernel-workers %d must be >= 1\n", *kernelWorkers)
+		os.Exit(2)
+	}
+	tensor.SetWorkers(*kernelWorkers)
 
 	scale := experiments.ScaleFull
 	if *quick {
@@ -74,12 +96,18 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if all || *which == "gossip" {
-		experiments.PrintGossipGrid(out, experiments.RunGossipGrid(experiments.DefaultGossipGrid(scale)))
+		spec := experiments.DefaultGossipGrid(scale)
+		spec.Wire = wire
+		experiments.PrintGossipGrid(out, experiments.RunGossipGrid(spec))
 		fmt.Fprintln(out)
 	}
 	if all || *which == "async" {
 		target, rows := experiments.AsyncAblation(experiments.DefaultAsyncSpec(scale))
 		experiments.PrintLinkAware(out, "async vs sync under 10x straggler", target, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *which == "wire" {
+		experiments.PrintWireAblation(out, experiments.WireAblation(scale))
 		fmt.Fprintln(out)
 	}
 }

@@ -99,5 +99,30 @@
 // ablations, compression cells, link-aware configs) run their independent
 // configurations concurrently on internal/experiments' pool (-workers on
 // cmd/figures and cmd/sweep), with byte-identical output at any width.
-// Perf numbers are recorded per PR as BENCH_<n>.json via cmd/bench.
+//
+// The tensor matmul kernels (Gemm/GemmTA/GemmTB/Gemv/GemvT) are
+// cache-blocked and register-tiled under a bit-exactness contract: every
+// output element starts from its beta-scaled destination and accumulates
+// its reduction terms in ascending index order, one separately-rounded
+// multiply and add per term — the exact arithmetic of the naive triple
+// loop, which ships alongside as the parity oracle (GemmNaive etc.,
+// internal/tensor/parity_test.go). Within that contract the blocked
+// kernels reorder only the loop NEST (row tiles x kc-panels), and on
+// amd64 the alpha==1 Gemm hot path drops into a packed SSE2 micro-kernel
+// (gemm_amd64.s) whose vector lanes hold independent C elements — two
+// multiply-adds retired per cycle instead of one, ~3x over naive at
+// 256x256, with FMA deliberately off the table (fused rounding would
+// change bits). tensor.SetWorkers(n) optionally fans output-row panels
+// across goroutines; panels never share output rows, so results are
+// bit-identical at every worker count (raced in CI). Separately,
+// compress.Spec gained a wire format (WireFloat32, spec modifier "+f32",
+// -wire float32 on the cmds): payload values are narrowed to float32 on
+// the wire — halving every byte-priced message — while model state stays
+// float64; the wire ablation (cmd/figures -wire float32) quantifies the
+// loss-vs-runtime payoff on a bandwidth-constrained link.
+//
+// Perf numbers are recorded per PR as BENCH_<n>.json via cmd/bench, and
+// CI gates on them: `go run ./cmd/bench -check BENCH_<n>.json` fails on
+// wall-clock regressions beyond a tolerance, on any allocs/op increase,
+// and on the blocked/naive Gemm ratio dropping below its floor.
 package repro

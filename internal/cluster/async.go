@@ -250,6 +250,7 @@ type AsyncEngine struct {
 	deltaBuf     []float64
 	decodeBuf    []float64
 	aggBuf       []float64
+	pullBuf      []float64   // float32-rounded global for WireFloat32 pulls
 	freeDense    [][]float64 // recycled dense message buffers (no-compression path)
 
 	policy    paramserver.ArrivalPolicy
@@ -367,6 +368,9 @@ func NewAsync(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.D
 		}
 		e.comp = c
 	}
+	if cfg.Compress.Wire == compress.WireFloat32 {
+		e.pullBuf = make([]float64, e.dim)
+	}
 	evalDS := trainEval
 	if cfg.EvalSubset > 0 && cfg.EvalSubset < trainEval.N() {
 		idx := root.Split().Perm(trainEval.N())[:cfg.EvalSubset]
@@ -379,6 +383,9 @@ func NewAsync(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.D
 	e.curK = e.policy.Effective(nil, cfg.Participation)
 	e.stats.MaterializedReplicas = 2 // compute slot + eval model
 	e.stats.ScratchVectors = 4       // global, agg, decode, delta
+	if e.pullBuf != nil {
+		e.stats.ScratchVectors++ // narrowed-pull buffer
+	}
 	return e, nil
 }
 
@@ -493,13 +500,23 @@ func (e *AsyncEngine) releaseMsg(c *asyncClient) {
 func (e *AsyncEngine) dispatch(i int, t float64) {
 	c := &e.clients[i]
 
-	// Pull: the client downloads the dense global model on its own link.
+	// Pull: the client downloads the dense global model on its own link. A
+	// float32 wire halves the payload and the client trains from the
+	// float32-rounded global — the download is a priced wire message too.
 	downBytes := 8 * e.dim
+	pulled := e.global
+	if e.pullBuf != nil {
+		downBytes = 4 * e.dim
+		for j, v := range e.global {
+			e.pullBuf[j] = compress.Narrow32(v)
+		}
+		pulled = e.pullBuf
+	}
 	e.stats.DownBytes += int64(e.com.Pull(i, downBytes).DownBytes)
 	downTime := e.delay.SampleTransfer(c.delayR, i, downBytes)
 
 	// Materialize + local work (the only replica ever materialized).
-	e.computeModel.SetParams(e.global)
+	e.computeModel.SetParams(pulled)
 	sampler := data.NewSampler(c.shard, e.cfg.BatchSize, c.model)
 	e.opt.SetLR(e.cfg.LR)
 	for k := 0; k < e.cfg.Tau; k++ {

@@ -335,3 +335,34 @@ func TestAsyncLinkAwareCapsArrivals(t *testing.T) {
 			cfg.Participation, st.Applied, st.Updates)
 	}
 }
+
+// TestAsyncWireFloat32HalvesBothDirections: under the wire-only float32
+// spec every in-flight message AND every model pull is accounted at 4
+// bytes/coordinate — exactly half the dense float64 traffic in both
+// directions — and training still converges.
+func TestAsyncWireFloat32HalvesBothDirections(t *testing.T) {
+	dense := asyncSetup(t, 8).async(t, baseAsyncCfg())
+	dense.Run("dense")
+
+	cfg := baseAsyncCfg()
+	cfg.Compress = compress.Spec{Wire: compress.WireFloat32}
+	narrow := asyncSetup(t, 8).async(t, cfg)
+	narrow.Run("f32")
+
+	ds, ns := dense.Stats(), narrow.Stats()
+	// Bandwidth is 0 in this setup, so payload size has no timing effect:
+	// both runs replay the same event schedule and the byte totals are
+	// directly comparable.
+	if ds.Updates != ns.Updates || ds.Applied != ns.Applied || ds.Expired != ns.Expired {
+		t.Fatalf("event schedules diverged: %+v vs %+v", ds, ns)
+	}
+	if ns.DownBytes*2 != ds.DownBytes {
+		t.Fatalf("down bytes %d, want exactly half of %d", ns.DownBytes, ds.DownBytes)
+	}
+	if ns.UpBytes*2 != ds.UpBytes {
+		t.Fatalf("up bytes %d, want exactly half of %d", ns.UpBytes, ds.UpBytes)
+	}
+	if narrow.TrainLoss() >= dense.TrainLoss()*2 {
+		t.Fatalf("float32-wire loss %v way above dense %v", narrow.TrainLoss(), dense.TrainLoss())
+	}
+}

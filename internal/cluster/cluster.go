@@ -441,6 +441,15 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 	e.latHops = cfg.Topology.LatencyHops(m)
 	e.bytesFactor = cfg.Topology.BytesFactor(m)
 	e.lastReport = comm.DenseReport(m, e.dim)
+	if cfg.Compress.Enabled() {
+		// Before the first synchronization the schedule reflects the spec's
+		// data-independent wire size (e.g. a float32 wire halves it); each
+		// averaging overwrites it with the observed payload.
+		for i := range e.lastReport.Bytes {
+			e.lastReport.Bytes[i] = cfg.Compress.WireBytes(e.dim)
+		}
+		e.lastReport.Max = cfg.Compress.WireBytes(e.dim)
+	}
 	e.linkTimes = make([]float64, m)
 	e.sumBuf = make([]float64, e.dim)
 	e.msgBuf = make([]compress.Message, m)
@@ -474,13 +483,14 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 			}
 			e.denseRep = comm.DenseReport(m, e.dim)
 		} else {
-			// Identity-kind compressors are lossless dense encodings (an
-			// error-feedback wrap keeps a residual of exactly zero), so
-			// the CHOCO protocol ships the parameters themselves and pins
-			// the estimates exactly; see averageRingChoco.
+			// Lossless specs (identity kind on a float64 wire; an
+			// error-feedback wrap keeps a residual of exactly zero) let
+			// the CHOCO protocol ship the parameters themselves and pin
+			// the estimates exactly; see averageRingChoco. A float32 wire
+			// is lossy, so it takes the general estimate-delta path.
 			e.repBytes = make([]int, m)
 			e.gossip = newGossipState(m, e.global, cfg.GossipGamma,
-				cfg.Compress.Kind == compress.KindIdentity)
+				cfg.Compress.Lossless())
 			for i := range e.gossip.nodes {
 				e.gossip.nodes[i] = e.workers[i].model
 			}

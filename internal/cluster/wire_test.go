@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/sgd"
+)
+
+// TestWireFloat32HalvesFullAveragingPayload pins the acceptance criterion:
+// identity-compressed full averaging under a float32 wire charges exactly
+// half the per-round payload of the float64 wire, and still trains.
+func TestWireFloat32HalvesFullAveragingPayload(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	run := func(spec compress.Spec) *Engine {
+		cfg := baseCfg()
+		cfg.MaxIters = 200
+		cfg.Compress = spec
+		e := s.engine(t, cfg)
+		tr := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "t")
+		if tr.FinalLoss() >= tr.Points[0].Loss/2 {
+			t.Fatalf("%s failed to learn: %v -> %v",
+				spec, tr.Points[0].Loss, tr.FinalLoss())
+		}
+		return e
+	}
+	wide := run(compress.Spec{Kind: compress.KindIdentity})
+	narrow := run(compress.Spec{Kind: compress.KindIdentity, Wire: compress.WireFloat32})
+	if got, want := wide.CommBytesPerRound(), 8*wide.Dim(); got != want {
+		t.Fatalf("float64 wire payload %d, want %d", got, want)
+	}
+	if got, want := narrow.CommBytesPerRound(), 4*narrow.Dim(); got != want {
+		t.Fatalf("float32 wire payload %d, want exactly half the dense %d", got, 8*narrow.Dim())
+	}
+}
+
+// TestWireOnlySpecMatchesNarrowIdentity: the kind-None float32 spec is the
+// identity compressor plus narrowing, so its trajectory is bit-identical to
+// the explicit identity+f32 spec.
+func TestWireOnlySpecMatchesNarrowIdentity(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	run := func(spec compress.Spec) []float64 {
+		cfg := baseCfg()
+		cfg.MaxIters = 200
+		cfg.Compress = spec
+		e := s.engine(t, cfg)
+		e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "t")
+		return e.GlobalParams()
+	}
+	a := run(compress.Spec{Wire: compress.WireFloat32})
+	b := run(compress.Spec{Kind: compress.KindIdentity, Wire: compress.WireFloat32})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wire-only spec diverged from identity+f32 at param %d: %v vs %v",
+				i, a[i], b[i])
+		}
+	}
+}
+
+// TestWireFloat32TracksFloat64 bounds the lossy boundary: the float32-wire
+// trajectory stays close to the float64 one (per-round narrowing error is
+// ~2^-24 relative) and reaches a comparable loss.
+func TestWireFloat32TracksFloat64(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	run := func(spec compress.Spec) (*Engine, float64) {
+		cfg := baseCfg()
+		cfg.MaxIters = 400
+		cfg.Compress = spec
+		e := s.engine(t, cfg)
+		tr := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "t")
+		return e, tr.FinalLoss()
+	}
+	_, wideLoss := run(compress.Spec{Kind: compress.KindIdentity})
+	_, narrowLoss := run(compress.Spec{Kind: compress.KindIdentity, Wire: compress.WireFloat32})
+	if math.IsNaN(narrowLoss) {
+		t.Fatal("float32-wire run produced NaN loss")
+	}
+	if rel := math.Abs(narrowLoss-wideLoss) / wideLoss; rel > 0.05 {
+		t.Fatalf("float32 wire drifted: loss %v vs %v (rel %v)", narrowLoss, wideLoss, rel)
+	}
+}
+
+// TestWireFloat32ChocoGossipIsLossy: a float32 wire disqualifies the
+// lossless CHOCO refinement (estimates cannot pin replicas exactly), but the
+// estimate-delta path must still converge and charge the halved payload.
+func TestWireFloat32ChocoGossip(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.MaxIters = 400
+	cfg.Strategy = RingGossip
+	cfg.Compress = compress.Spec{Kind: compress.KindIdentity, Wire: compress.WireFloat32}
+	e := s.engine(t, cfg)
+	if e.gossip == nil || e.gossip.lossless {
+		t.Fatal("float32-wire gossip must take the lossy CHOCO path")
+	}
+	tr := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, "choco-f32")
+	if tr.FinalLoss() >= tr.Points[0].Loss/2 {
+		t.Fatalf("float32-wire CHOCO failed to learn: %v -> %v",
+			tr.Points[0].Loss, tr.FinalLoss())
+	}
+	if got, want := e.CommBytesPerRound(), 4*e.Dim(); got != want {
+		t.Fatalf("float32-wire gossip payload %d, want %d", got, want)
+	}
+}

@@ -50,8 +50,9 @@ const (
 // populated, according to Enc. Messages do not alias the compressor's
 // scratch buffers and stay valid across subsequent Compress calls.
 type Message struct {
-	Dim int // uncompressed vector length
-	Enc Encoding
+	Dim  int // uncompressed vector length
+	Enc  Encoding
+	Wire WireFormat // value precision on the wire (indices/levels are exact)
 
 	// EncDense
 	Dense []float64
@@ -66,18 +67,20 @@ type Message struct {
 	Levels []int16
 }
 
-// Bytes returns the on-the-wire payload size: 8 bytes per dense float,
-// 4+8 bytes per sparse (index, value) pair, and sign+level bit-packing plus
-// the 8-byte norm for quantized messages. Framing overhead is excluded — the
-// delay model charges payload only.
+// Bytes returns the on-the-wire payload size: one value-width per dense
+// float (8 bytes, or 4 under WireFloat32), 4 index bytes plus one
+// value-width per sparse pair, and sign+level bit-packing plus the
+// value-width norm for quantized messages. Framing overhead is excluded —
+// the delay model charges payload only.
 func (m Message) Bytes() int {
+	vb := m.Wire.valueBytes()
 	switch m.Enc {
 	case EncDense:
-		return 8 * m.Dim
+		return vb * m.Dim
 	case EncSparse:
-		return len(m.Indices) * (4 + 8)
+		return len(m.Indices) * (4 + vb)
 	case EncQuant:
-		return 8 + (m.Dim*(m.Bits+1)+7)/8
+		return vb + (m.Dim*(m.Bits+1)+7)/8
 	}
 	panic(fmt.Sprintf("compress: unknown encoding %d", int(m.Enc)))
 }

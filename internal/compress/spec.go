@@ -31,16 +31,30 @@ const (
 // value is None.
 type Spec struct {
 	Kind          Kind
-	Ratio         float64 // keep-fraction for TopK/RandK, in (0, 1]
-	Bits          int     // bit-width for QSGD, in [1, 8]
-	ErrorFeedback bool    // wrap with residual accumulation
+	Ratio         float64    // keep-fraction for TopK/RandK, in (0, 1]
+	Bits          int        // bit-width for QSGD, in [1, 8]
+	ErrorFeedback bool       // wrap with residual accumulation
+	Wire          WireFormat // value precision on the wire; zero = float64
 }
 
-// Enabled reports whether the spec names an actual compressor.
-func (s Spec) Enabled() bool { return s.Kind != None }
+// Enabled reports whether the spec changes what goes on the wire: a named
+// compressor, or a float32 wire on an otherwise-uncompressed payload (the
+// kind-None float32 spec routes through the compressed machinery with an
+// identity base so every consumer narrows the same way).
+func (s Spec) Enabled() bool { return s.Kind != None || s.Wire == WireFloat32 }
+
+// Lossless reports whether encode(decode(v)) == v bitwise for every vector —
+// a dense encoding at full wire precision. CHOCO gossip uses it to pin
+// estimates exactly to the parameters they mirror.
+func (s Spec) Lossless() bool {
+	return (s.Kind == None || s.Kind == KindIdentity) && s.Wire == WireFloat64
+}
 
 // Validate checks the parameters for the chosen kind.
 func (s Spec) Validate() error {
+	if s.Wire != WireFloat64 && s.Wire != WireFloat32 {
+		return fmt.Errorf("compress: unknown wire format %d", int(s.Wire))
+	}
 	switch s.Kind {
 	case None, KindIdentity:
 		return nil
@@ -63,7 +77,7 @@ func (s Spec) String() string {
 	var base string
 	switch s.Kind {
 	case None:
-		return "none"
+		base = "none"
 	case KindIdentity:
 		base = "identity"
 	case KindTopK:
@@ -78,20 +92,28 @@ func (s Spec) String() string {
 	if s.ErrorFeedback {
 		base += "+ef"
 	}
+	if s.Wire == WireFloat32 {
+		base += "+f32"
+	}
 	return base
 }
 
 // ParseSpec parses the flag syntax: "none", "identity", "topk:0.01",
 // "randk:0.05", "qsgd:4", each optionally suffixed with "+ef" for error
-// feedback (e.g. "topk:0.01+ef").
+// feedback and/or "+f32" for a float32 wire (e.g. "topk:0.01+ef+f32";
+// "none+f32" narrows an otherwise-uncompressed payload).
 func ParseSpec(str string) (Spec, error) {
 	var s Spec
 	parts := strings.Split(str, "+")
 	for _, mod := range parts[1:] {
-		if mod != "ef" {
+		switch mod {
+		case "ef":
+			s.ErrorFeedback = true
+		case "f32":
+			s.Wire = WireFloat32
+		default:
 			return s, fmt.Errorf("compress: unknown modifier %q in %q", mod, str)
 		}
-		s.ErrorFeedback = true
 	}
 	base, arg, hasArg := strings.Cut(parts[0], ":")
 	switch base {
@@ -99,7 +121,7 @@ func ParseSpec(str string) (Spec, error) {
 		if s.ErrorFeedback {
 			return s, fmt.Errorf("compress: error feedback needs a compressor, got %q", str)
 		}
-		return Spec{}, nil
+		return Spec{Wire: s.Wire}, nil
 	case "identity":
 		s.Kind = KindIdentity
 	case "topk", "randk":
@@ -145,7 +167,12 @@ func (s Spec) New(r *rng.Rand) (Compressor, error) {
 	var c Compressor
 	switch s.Kind {
 	case None:
-		return nil, nil
+		if s.Wire != WireFloat32 {
+			return nil, nil
+		}
+		// Wire-only spec: identity base, so the narrowing wrapper below is
+		// the whole transform.
+		c = Identity{}
 	case KindIdentity:
 		c = Identity{}
 	case KindTopK:
@@ -161,6 +188,11 @@ func (s Spec) New(r *rng.Rand) (Compressor, error) {
 		}
 		c = NewQSGD(s.Bits, r)
 	}
+	if s.Wire == WireFloat32 {
+		c = wireNarrow{inner: c}
+	}
+	// ErrorFeedback wraps outermost so the residual captures everything the
+	// wire dropped, including float32 narrowing loss.
 	if s.ErrorFeedback {
 		c = WithErrorFeedback(c)
 	}
@@ -186,13 +218,14 @@ func (s Spec) InitialRatio() float64 {
 // gradient is materialized. It matches Message.Bytes for every shipped
 // compressor.
 func (s Spec) WireBytes(dim int) int {
+	vb := s.Wire.valueBytes()
 	switch s.Kind {
 	case None, KindIdentity:
-		return 8 * dim
+		return vb * dim
 	case KindTopK, KindRandK:
-		return keepCount(s.Ratio, dim) * (4 + 8)
+		return keepCount(s.Ratio, dim) * (4 + vb)
 	case KindQSGD:
-		return 8 + (dim*(s.Bits+1)+7)/8
+		return vb + (dim*(s.Bits+1)+7)/8
 	}
 	panic(fmt.Sprintf("compress: unknown kind %d", int(s.Kind)))
 }

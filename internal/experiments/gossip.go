@@ -29,6 +29,10 @@ type GossipGridSpec struct {
 	RingSizes []int     // ring topologies to sweep (worker counts)
 	Ratios    []float64 // top-k keep-ratios for the compressed cells
 	Gamma     float64   // CHOCO consensus step size
+	// Wire selects the value precision of the COMPRESSED cells' payloads;
+	// the "ring raw" baseline always runs the uncompressed float64 path so
+	// the grid keeps its lossless reference.
+	Wire compress.WireFormat
 
 	BatchSize  int
 	LR         float64
@@ -117,7 +121,7 @@ func RunGossipGrid(spec GossipGridSpec) GossipGridResult {
 		w.Delay.Bandwidth = spec.Bandwidth
 		cells = append(cells, cellSpec{w: w, method: "ring raw", strat: cluster.RingGossip})
 		for _, ratio := range spec.Ratios {
-			cs := compress.Spec{Kind: compress.KindTopK, Ratio: ratio}
+			cs := compress.Spec{Kind: compress.KindTopK, Ratio: ratio, Wire: spec.Wire}
 			cells = append(cells,
 				cellSpec{w: w, method: "ring choco", strat: cluster.RingGossip, cs: cs, gamma: spec.Gamma},
 				cellSpec{w: w, method: "full shared-ref", strat: cluster.FullAveraging, cs: cs})

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compress"
+	"repro/internal/metrics"
+)
+
+// The wire ablation isolates the float32 wire format from sparsification:
+// both runs average the FULL model (identity compressor), differing only in
+// the width of each value on the link. On a bandwidth-constrained cluster
+// the narrow wire halves every broadcast, so the float32 run fits more
+// rounds into the same simulated budget while its trajectory tracks the
+// float64 one to within the ~2^-24 relative narrowing error per round.
+
+// WireAblationResult compares dense full averaging over a float64 wire
+// against the same run over a float32 wire.
+type WireAblationResult struct {
+	Tau         int
+	Bandwidth   float64
+	Target      float64 // shared loss level both runs reach
+	Wide        *metrics.Trace
+	Narrow      *metrics.Trace
+	WideBytes   int // per-round payload, float64 wire
+	NarrowBytes int // per-round payload, float32 wire
+	TimeWide    float64
+	TimeNarrow  float64
+	Speedup     float64 // TimeWide / TimeNarrow
+}
+
+// WireAblation runs the pair on the compression grid's shared
+// bandwidth-constrained workload at a fixed tau. Both runs see identical
+// seeds; the only difference is the Spec's wire format.
+func WireAblation(scale Scale) WireAblationResult {
+	spec := DefaultCompressionGrid(scale)
+	const tau = 5
+	w := spec.workload()
+
+	pair := []compress.Spec{
+		{Kind: compress.KindIdentity},
+		{Kind: compress.KindIdentity, Wire: compress.WireFloat32},
+	}
+	names := []string{"f64 wire", "f32 wire"}
+	traces := make([]*metrics.Trace, len(pair))
+	bytesPerRound := make([]int, len(pair))
+	forEach(len(pair), func(i int) {
+		e, tr := spec.runCell(w, tau, pair[i], names[i])
+		traces[i] = tr
+		bytesPerRound[i] = e.CommBytesPerRound()
+	})
+
+	res := WireAblationResult{
+		Tau:         tau,
+		Bandwidth:   spec.Bandwidth,
+		Target:      reachableTarget(traces, 0.05),
+		Wide:        traces[0],
+		Narrow:      traces[1],
+		WideBytes:   bytesPerRound[0],
+		NarrowBytes: bytesPerRound[1],
+	}
+	res.TimeWide = res.Wide.TimeToLoss(res.Target)
+	res.TimeNarrow = res.Narrow.TimeToLoss(res.Target)
+	res.Speedup = res.TimeWide / res.TimeNarrow
+	return res
+}
+
+// PrintWireAblation renders the pair.
+func PrintWireAblation(w io.Writer, res WireAblationResult) {
+	fmt.Fprintf(w, "== Float32 vs float64 wire at tau=%d, bandwidth %g B/s ==\n",
+		res.Tau, res.Bandwidth)
+	fmt.Fprintf(w, "payload/round: f64 %d B, f32 %d B\n", res.WideBytes, res.NarrowBytes)
+	fmt.Fprintf(w, "target loss %.5f: f64 %.2f s, f32 %.2f s (%.2fx)\n",
+		res.Target, res.TimeWide, res.TimeNarrow, res.Speedup)
+}

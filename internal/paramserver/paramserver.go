@@ -360,11 +360,14 @@ func (s *Server) dispatch(i int) {
 			panic(fmt.Sprintf("paramserver: worker %d pull decode: %v", i, err))
 		}
 		lp := s.lastPulled[i]
-		if msg.Enc == compress.EncDense {
-			// A dense delta is lossless, so both sides can snap to the
-			// server model exactly instead of trusting lp + (x - lp) to
-			// round-trip in floating point — this is what makes the
-			// identity pull's "priced but exact" guarantee literal.
+		if msg.Enc == compress.EncDense && msg.Wire == compress.WireFloat64 {
+			// A full-precision dense delta is lossless, so both sides can
+			// snap to the server model exactly instead of trusting
+			// lp + (x - lp) to round-trip in floating point — this is what
+			// makes the identity pull's "priced but exact" guarantee
+			// literal. A float32 wire is lossy, so it accumulates the
+			// narrowed delta like the sparsifying kinds (the next pull's
+			// delta carries whatever this one's rounding dropped).
 			copy(lp, s.params)
 		} else {
 			tensor.Axpy(1, s.pullBuf, lp)

@@ -1,0 +1,642 @@
+package tensor
+
+import (
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// Blocked, register-tiled implementations of the Gem*/Gemv* kernels. The
+// contract with naive.go: every output element accumulates exactly the same
+// sequence of floating-point operations as the naive reference — beta-scale
+// (or overwrite) first, then one addition per term in ascending reduction
+// index, with the axpy-form zero-coefficient skip preserved — so results are
+// bit-identical to the reference at every worker count. The speed comes from
+// where values live, not from reassociating arithmetic: register tiles share
+// one streamed B (or x) load across several output rows, k-panel blocking
+// keeps the streamed operand resident in cache, and the optional fan-out
+// gives each goroutine a disjoint set of output rows. On amd64 the alpha==1
+// Gemm hot path additionally dispatches to a packed SSE2 micro-kernel
+// (gemm_amd64.s) whose lanes hold independent C elements — same per-element
+// multiply/add sequence, two retired per cycle instead of one.
+
+const (
+	// rowTile is the register tile height: output rows updated per streamed
+	// B-row (or x) load in the axpy-form kernels.
+	rowTile = 4
+	// kcBlock is the k-panel size: the B panel (kcBlock x N floats) stays
+	// cache-resident while every row tile of the panel consumes it.
+	kcBlock = 256
+	// panelRows is the parallel work-unit height. Panels are contiguous and
+	// disjoint, so each output row has exactly one writer.
+	panelRows = 32
+	// parMinWork is the minimum multiply-add count before a kernel fans
+	// out; below it the goroutine hand-off costs more than the loop.
+	parMinWork = 1 << 15
+)
+
+// kernelWorkers holds the pool width used by forRowPanels; <= 1 means
+// serial. Read atomically per kernel call: nn layers run inside engine
+// compute pools, so concurrent readers are the norm.
+var kernelWorkers atomic.Int64
+
+// Workers returns the current kernel worker count (always >= 1).
+func Workers() int {
+	if w := int(kernelWorkers.Load()); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// SetWorkers sets the goroutine count the matmul kernels may tile output-row
+// panels across and returns the previous value. n < 1 clamps to 1 (serial,
+// the default). Results are bit-identical at every setting; this only
+// trades wall-clock for cores. Callers already inside a saturated pool
+// (engine compute workers, experiment grids) should leave it at 1 —
+// stacking pools oversubscribes the cores.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	prev := int(kernelWorkers.Swap(int64(n)))
+	if prev < 1 {
+		prev = 1
+	}
+	return prev
+}
+
+// parPanels returns the number of contiguous disjoint output-row panels a
+// kernel call should fan out across, or 0 for the serial path. work is the
+// multiply-add count of the whole call; small products never fan out. The
+// kernels call their panel body DIRECTLY in the serial case — routing it
+// through a closure would heap-allocate the capture on every call, and the
+// hot path must stay allocation-free.
+func parPanels(m, work int) int {
+	panels := (m + panelRows - 1) / panelRows
+	if Workers() <= 1 || panels <= 1 || work < parMinWork {
+		return 0
+	}
+	return panels
+}
+
+// panelBounds maps panel p to its row range [lo, hi) within [0, m).
+func panelBounds(p, m int) (lo, hi int) {
+	lo = p * panelRows
+	hi = lo + panelRows
+	if hi > m {
+		hi = m
+	}
+	return lo, hi
+}
+
+// scaleRows applies the beta pre-pass to rows [0, m) of c: overwrite on
+// beta == 0 (BLAS semantics, stale NaN/Inf must not propagate), scale
+// otherwise.
+func scaleRows(beta float64, c *Matrix) {
+	if beta == 0 {
+		Zero(c.Data)
+	} else if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+}
+
+func gemmBlocked(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	scaleRows(beta, c)
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	if panels := parPanels(m, m*n*k); panels > 0 {
+		// Capture COPIES of the matrix headers: capturing the parameters
+		// themselves would make every caller's header escape to the heap,
+		// and nn layers build Matrix views on the stack per call.
+		aa, bb, cc := *a, *b, *c
+		par.ForEach(panels, Workers(), func(p int) {
+			lo, hi := panelBounds(p, m)
+			gemmPanel(alpha, &aa, &bb, &cc, lo, hi, k)
+		})
+		return
+	}
+	gemmPanel(alpha, a, b, c, 0, m, k)
+}
+
+// gemmPanel computes C rows [lo, hi) with the GEBP loop nest: k-panels
+// outermost (so every element still accumulates k-terms in ascending
+// order), then 4-column j-strips, then 2-row micro-tiles. With the j-strip
+// OUTSIDE the row loop, the B column strip the micro-kernel streams
+// (kcBlock rows x 32 bytes) stays L1-resident and is reused by every row
+// pair of the panel; nesting the other way re-streams the whole B panel
+// per row pair from L2 or memory.
+func gemmPanel(alpha float64, a, b, c *Matrix, lo, hi, k int) {
+	if useAsmGemm && alpha == 1 {
+		gemmPanelSSE(a, b, c, lo, hi, k)
+		return
+	}
+	n := b.Cols
+	for k0 := 0; k0 < k; k0 += kcBlock {
+		k1 := k0 + kcBlock
+		if k1 > k {
+			k1 = k
+		}
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			i := lo
+			for ; i+2 <= hi; i += 2 {
+				gemmMicro2x4(alpha, a, b, c, i, j, k0, k1)
+			}
+			for ; i < hi; i++ {
+				gemmMicro1x4(alpha, a.Row(i), b, c.Row(i), j, k0, k1)
+			}
+		}
+		for ; j < n; j++ {
+			for i := lo; i < hi; i++ {
+				gemmMicro1x1(alpha, a.Row(i), b, c.Row(i), j, k0, k1)
+			}
+		}
+	}
+}
+
+// gemmPanelSSE is the alpha == 1 panel body dispatching to the packed SSE2
+// micro-kernel (gemm_amd64.s). The kernel has no zero-skip branch, so a Go
+// pre-scan classifies each panel row once per k-block: row pairs with no
+// exact-zero coefficient take the 2x8 packed kernel, anything else falls
+// back to the scalar micro-kernels, which preserve the skip. On dense data
+// (trained weights, normalized activations) the scan almost always passes
+// and costs two reads per coefficient against sixteen multiply-adds.
+func gemmPanelSSE(a, b, c *Matrix, lo, hi, k int) {
+	var nz [panelRows]bool
+	n, step := b.Cols, b.Cols
+	for k0 := 0; k0 < k; k0 += kcBlock {
+		k1 := k0 + kcBlock
+		if k1 > k {
+			k1 = k
+		}
+		// The serial path covers all m rows in one call, so re-chunk into
+		// panelRows strips to bound the nz scratch.
+		for i0 := lo; i0 < hi; i0 += panelRows {
+			i2 := i0 + panelRows
+			if i2 > hi {
+				i2 = hi
+			}
+			for r := i0; r < i2; r++ {
+				nz[r-i0] = rowNoZeros(a.Row(r)[k0:k1])
+			}
+			j := 0
+			for ; j+8 <= n; j += 8 {
+				i := i0
+				for ; i+2 <= i2; i += 2 {
+					if nz[i-i0] && nz[i-i0+1] {
+						ap0, ap1 := a.Row(i), a.Row(i+1)
+						c0, c1 := c.Row(i), c.Row(i+1)
+						gemmMadd2x8(&ap0[k0], &ap1[k0], &b.Data[k0*step+j],
+							&c0[j], &c1[j], step*8, k1-k0)
+						continue
+					}
+					gemmMicro2x4(1, a, b, c, i, j, k0, k1)
+					gemmMicro2x4(1, a, b, c, i, j+4, k0, k1)
+				}
+				for ; i < i2; i++ {
+					gemmMicro1x4(1, a.Row(i), b, c.Row(i), j, k0, k1)
+					gemmMicro1x4(1, a.Row(i), b, c.Row(i), j+4, k0, k1)
+				}
+			}
+			for ; j+4 <= n; j += 4 {
+				i := i0
+				for ; i+2 <= i2; i += 2 {
+					gemmMicro2x4(1, a, b, c, i, j, k0, k1)
+				}
+				for ; i < i2; i++ {
+					gemmMicro1x4(1, a.Row(i), b, c.Row(i), j, k0, k1)
+				}
+			}
+			for ; j < n; j++ {
+				for i := i0; i < i2; i++ {
+					gemmMicro1x1(1, a.Row(i), b, c.Row(i), j, k0, k1)
+				}
+			}
+		}
+	}
+}
+
+// rowNoZeros reports whether s is free of exact zeros, i.e. the naive
+// kernel's zero-coefficient skip cannot fire on this coefficient range.
+func rowNoZeros(s []float64) bool {
+	for _, v := range s {
+		if v == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// gemmMicro2x4 accumulates the 2x4 C block at (i, j) over the k-panel
+// [k0, k1) in eight register accumulators, so the inner loop's only memory
+// traffic is two A coefficients and four B values per k — the streamed-C
+// axpy form pays two L1 ops per multiply-add instead. Eight accumulators
+// plus six streamed values fit amd64's sixteen XMM registers; a wider tile
+// spills and runs SLOWER. Bit-exactness holds because each element's
+// accumulator receives one addition per k in ascending order, seeded from
+// the (already beta-scaled) C value, and a zero coefficient skips its four
+// additions exactly like the naive kernel's k-skip.
+func gemmMicro2x4(alpha float64, a, b, c *Matrix, i, j, k0, k1 int) {
+	ap0 := a.Row(i)[k0:k1]
+	ap1 := a.Row(i + 1)[k0:k1]
+	ap1 = ap1[:len(ap0)]
+	c0 := c.Row(i)[j : j+4]
+	c1 := c.Row(i + 1)[j : j+4]
+	s00, s01, s02, s03 := c0[0], c0[1], c0[2], c0[3]
+	s10, s11, s12, s13 := c1[0], c1[1], c1[2], c1[3]
+	// Walk B by flat offset: one add per k instead of a row multiply and
+	// double reslice in the hottest loop of the package.
+	bd, step := b.Data, b.Cols
+	off := k0*step + j
+	if alpha == 1 {
+		// alpha == 1 fast path: 1*x is bit-identical to x for every finite,
+		// infinite, and quiet-NaN value (only signaling-NaN payloads would
+		// differ, and the engines never produce those), so dropping the two
+		// coefficient multiplies per k preserves the parity contract while
+		// returning a quarter of the FP-port budget to the accumulators.
+		for kk, v0 := range ap0 {
+			brow := bd[off : off+4 : off+4]
+			bv0, bv1, bv2, bv3 := brow[0], brow[1], brow[2], brow[3]
+			off += step
+			v1 := ap1[kk]
+			if v0 != 0 && v1 != 0 {
+				s00 += v0 * bv0
+				s01 += v0 * bv1
+				s02 += v0 * bv2
+				s03 += v0 * bv3
+				s10 += v1 * bv0
+				s11 += v1 * bv1
+				s12 += v1 * bv2
+				s13 += v1 * bv3
+				continue
+			}
+			if v0 != 0 {
+				s00 += v0 * bv0
+				s01 += v0 * bv1
+				s02 += v0 * bv2
+				s03 += v0 * bv3
+			}
+			if v1 != 0 {
+				s10 += v1 * bv0
+				s11 += v1 * bv1
+				s12 += v1 * bv2
+				s13 += v1 * bv3
+			}
+		}
+	} else {
+		for kk, av0 := range ap0 {
+			brow := bd[off : off+4 : off+4]
+			bv0, bv1, bv2, bv3 := brow[0], brow[1], brow[2], brow[3]
+			off += step
+			v0 := alpha * av0
+			v1 := alpha * ap1[kk]
+			if v0 != 0 && v1 != 0 {
+				s00 += v0 * bv0
+				s01 += v0 * bv1
+				s02 += v0 * bv2
+				s03 += v0 * bv3
+				s10 += v1 * bv0
+				s11 += v1 * bv1
+				s12 += v1 * bv2
+				s13 += v1 * bv3
+				continue
+			}
+			if v0 != 0 {
+				s00 += v0 * bv0
+				s01 += v0 * bv1
+				s02 += v0 * bv2
+				s03 += v0 * bv3
+			}
+			if v1 != 0 {
+				s10 += v1 * bv0
+				s11 += v1 * bv1
+				s12 += v1 * bv2
+				s13 += v1 * bv3
+			}
+		}
+	}
+	c0[0], c0[1], c0[2], c0[3] = s00, s01, s02, s03
+	c1[0], c1[1], c1[2], c1[3] = s10, s11, s12, s13
+}
+
+// gemmMicro1x4 is the single-row tail of gemmMicro2x4.
+func gemmMicro1x4(alpha float64, arow []float64, b *Matrix, crow []float64, j, k0, k1 int) {
+	cs := crow[j : j+4]
+	s0, s1, s2, s3 := cs[0], cs[1], cs[2], cs[3]
+	for kk, av := range arow[k0:k1] {
+		v := alpha * av
+		if v == 0 {
+			continue
+		}
+		brow := b.Row(k0 + kk)[j : j+4 : j+4]
+		s0 += v * brow[0]
+		s1 += v * brow[1]
+		s2 += v * brow[2]
+		s3 += v * brow[3]
+	}
+	cs[0], cs[1], cs[2], cs[3] = s0, s1, s2, s3
+}
+
+// gemmMicro1x1 is the scalar column-remainder kernel.
+func gemmMicro1x1(alpha float64, arow []float64, b *Matrix, crow []float64, j, k0, k1 int) {
+	s := crow[j]
+	for kk, av := range arow[k0:k1] {
+		v := alpha * av
+		if v == 0 {
+			continue
+		}
+		s += v * b.Row(k0 + kk)[j]
+	}
+	crow[j] = s
+}
+
+// axpyRow is dst += v * src over exactly len(src) elements; the reslice
+// makes the loop bounds-check-free.
+func axpyRow(dst []float64, v float64, src []float64) {
+	dst = dst[:len(src)]
+	for j, sv := range src {
+		dst[j] += v * sv
+	}
+}
+
+func gemmTABlocked(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	k, m, n := a.Rows, a.Cols, b.Cols // C is m x n, reduction over A's rows
+	scaleRows(beta, c)
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	// The naive kernel walks k outermost; for a fixed C element the terms
+	// still arrive in ascending k, so interchanging to C-row panels (i
+	// outer) reorders nothing per element.
+	if panels := parPanels(m, m*n*k); panels > 0 {
+		aa, bb, cc := *a, *b, *c // header copies: keep caller headers off the heap
+		par.ForEach(panels, Workers(), func(p int) {
+			lo, hi := panelBounds(p, m)
+			gemmTAPanel(alpha, &aa, &bb, &cc, lo, hi, k)
+		})
+		return
+	}
+	gemmTAPanel(alpha, a, b, c, 0, m, k)
+}
+
+func gemmTAPanel(alpha float64, a, b, c *Matrix, lo, hi, k int) {
+	for k0 := 0; k0 < k; k0 += kcBlock {
+		k1 := k0 + kcBlock
+		if k1 > k {
+			k1 = k
+		}
+		i := lo
+		for ; i+rowTile <= hi; i += rowTile {
+			gemmTATile4(alpha, a, b, c, i, k0, k1)
+		}
+		for ; i < hi; i++ {
+			gemmTATile1(alpha, a, b, c.Row(i), i, k0, k1)
+		}
+	}
+}
+
+// gemmTATile4 is gemmTile4 with A read transposed: coefficients for C rows
+// i..i+3 sit adjacent in each A row, so the strided reads stay within one
+// cache line per k.
+func gemmTATile4(alpha float64, a, b, c *Matrix, i, k0, k1 int) {
+	c0, c1, c2, c3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+	for kk := k0; kk < k1; kk++ {
+		arow := a.Row(kk)
+		v0 := alpha * arow[i]
+		v1 := alpha * arow[i+1]
+		v2 := alpha * arow[i+2]
+		v3 := alpha * arow[i+3]
+		brow := b.Row(kk)
+		if v0 != 0 && v1 != 0 && v2 != 0 && v3 != 0 {
+			c0, c1, c2, c3 := c0[:len(brow)], c1[:len(brow)], c2[:len(brow)], c3[:len(brow)]
+			for j, bv := range brow {
+				c0[j] += v0 * bv
+				c1[j] += v1 * bv
+				c2[j] += v2 * bv
+				c3[j] += v3 * bv
+			}
+			continue
+		}
+		if v0 != 0 {
+			axpyRow(c0, v0, brow)
+		}
+		if v1 != 0 {
+			axpyRow(c1, v1, brow)
+		}
+		if v2 != 0 {
+			axpyRow(c2, v2, brow)
+		}
+		if v3 != 0 {
+			axpyRow(c3, v3, brow)
+		}
+	}
+}
+
+func gemmTATile1(alpha float64, a, b *Matrix, crow []float64, i, k0, k1 int) {
+	for kk := k0; kk < k1; kk++ {
+		aik := alpha * a.Row(kk)[i]
+		if aik == 0 {
+			continue
+		}
+		axpyRow(crow, aik, b.Row(kk))
+	}
+}
+
+func gemmTBBlocked(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	m, k, n := a.Rows, a.Cols, b.Rows // C is m x n, dot-product form
+	if m == 0 || n == 0 {
+		return
+	}
+	if panels := parPanels(m, m*n*k); panels > 0 {
+		aa, bb, cc := *a, *b, *c // header copies: keep caller headers off the heap
+		par.ForEach(panels, Workers(), func(p int) {
+			lo, hi := panelBounds(p, m)
+			gemmTBPanel(alpha, &aa, &bb, beta, &cc, lo, hi, n)
+		})
+		return
+	}
+	gemmTBPanel(alpha, a, b, beta, c, 0, m, n)
+}
+
+func gemmTBPanel(alpha float64, a, b *Matrix, beta float64, c *Matrix, lo, hi, n int) {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		a0, a1 := a.Row(i), a.Row(i+1)
+		c0, c1 := c.Row(i), c.Row(i+1)
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			// 2x2 register tile: four dot products sharing every
+			// streamed A and B element; each accumulator sums in
+			// ascending k exactly like Dot. The reslices pin all
+			// operands to len(a0) for bounds-check elimination.
+			a1 := a1[:len(a0)]
+			b0 := b.Row(j)[:len(a0)]
+			b1 := b.Row(j + 1)[:len(a0)]
+			var s00, s01, s10, s11 float64
+			for kk, av0 := range a0 {
+				av1 := a1[kk]
+				bv0 := b0[kk]
+				bv1 := b1[kk]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+			}
+			if beta == 0 {
+				c0[j] = alpha * s00
+				c0[j+1] = alpha * s01
+				c1[j] = alpha * s10
+				c1[j+1] = alpha * s11
+			} else {
+				c0[j] = alpha*s00 + beta*c0[j]
+				c0[j+1] = alpha*s01 + beta*c0[j+1]
+				c1[j] = alpha*s10 + beta*c1[j]
+				c1[j+1] = alpha*s11 + beta*c1[j+1]
+			}
+		}
+		for ; j < n; j++ {
+			brow := b.Row(j)
+			var s0, s1 float64
+			for kk, av0 := range a0 {
+				bv := brow[kk]
+				s0 += av0 * bv
+				s1 += a1[kk] * bv
+			}
+			if beta == 0 {
+				c0[j] = alpha * s0
+				c1[j] = alpha * s1
+			} else {
+				c0[j] = alpha*s0 + beta*c0[j]
+				c1[j] = alpha*s1 + beta*c1[j]
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < n; j++ {
+			s := Dot(arow, b.Row(j))
+			if beta == 0 {
+				crow[j] = alpha * s
+			} else {
+				crow[j] = alpha*s + beta*crow[j]
+			}
+		}
+	}
+}
+
+func gemvBlocked(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
+	m, n := a.Rows, a.Cols
+	if m == 0 {
+		return
+	}
+	if panels := parPanels(m, m*n); panels > 0 {
+		aa := *a // header copy: keep the caller's header off the heap
+		par.ForEach(panels, Workers(), func(p int) {
+			lo, hi := panelBounds(p, m)
+			gemvPanel(alpha, &aa, x, beta, y, lo, hi)
+		})
+		return
+	}
+	gemvPanel(alpha, a, x, beta, y, 0, m)
+}
+
+func gemvPanel(alpha float64, a *Matrix, x []float64, beta float64, y []float64, lo, hi int) {
+	i := lo
+	for ; i+rowTile <= hi; i += rowTile {
+		a0 := a.Row(i)[:len(x)]
+		a1 := a.Row(i + 1)[:len(x)]
+		a2 := a.Row(i + 2)[:len(x)]
+		a3 := a.Row(i + 3)[:len(x)]
+		var s0, s1, s2, s3 float64
+		for j, xv := range x {
+			s0 += a0[j] * xv
+			s1 += a1[j] * xv
+			s2 += a2[j] * xv
+			s3 += a3[j] * xv
+		}
+		if beta == 0 {
+			y[i] = alpha * s0
+			y[i+1] = alpha * s1
+			y[i+2] = alpha * s2
+			y[i+3] = alpha * s3
+		} else {
+			y[i] = alpha*s0 + beta*y[i]
+			y[i+1] = alpha*s1 + beta*y[i+1]
+			y[i+2] = alpha*s2 + beta*y[i+2]
+			y[i+3] = alpha*s3 + beta*y[i+3]
+		}
+	}
+	for ; i < hi; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		if beta == 0 {
+			y[i] = alpha * s
+		} else {
+			y[i] = alpha*s + beta*y[i]
+		}
+	}
+}
+
+func gemvTBlocked(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
+	m, n := a.Rows, a.Cols
+	// Panels split the OUTPUT (columns of A), so the beta pre-pass and every
+	// ascending-i accumulation happen panel-locally with one writer per
+	// element.
+	if panels := parPanels(n, m*n); panels > 0 {
+		aa := *a // header copy: keep the caller's header off the heap
+		par.ForEach(panels, Workers(), func(p int) {
+			lo, hi := panelBounds(p, n)
+			gemvTPanel(alpha, &aa, x, beta, y, lo, hi, m)
+		})
+		return
+	}
+	gemvTPanel(alpha, a, x, beta, y, 0, n, m)
+}
+
+func gemvTPanel(alpha float64, a *Matrix, x []float64, beta float64, y []float64, lo, hi, m int) {
+	yp := y[lo:hi]
+	if beta == 0 {
+		Zero(yp)
+	} else if beta != 1 {
+		for j := range yp {
+			yp[j] *= beta
+		}
+	}
+	i := 0
+	for ; i+2 <= m; i += 2 {
+		ax0 := alpha * x[i]
+		ax1 := alpha * x[i+1]
+		r0 := a.Row(i)[lo:hi]
+		r1 := a.Row(i + 1)[lo:hi]
+		if ax0 != 0 && ax1 != 0 {
+			// Two separate additions per element keep the ascending-i
+			// term order of the naive kernel.
+			yp, r1 := yp[:len(r0)], r1[:len(r0)]
+			for j, v := range r0 {
+				yp[j] += ax0 * v
+				yp[j] += ax1 * r1[j]
+			}
+			continue
+		}
+		if ax0 != 0 {
+			axpyRow(yp, ax0, r0)
+		}
+		if ax1 != 0 {
+			axpyRow(yp, ax1, r1)
+		}
+	}
+	if i < m {
+		ax := alpha * x[i]
+		if ax != 0 {
+			axpyRow(yp, ax, a.Row(i)[lo:hi])
+		}
+	}
+}

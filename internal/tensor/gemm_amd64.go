@@ -1,0 +1,20 @@
+//go:build amd64
+
+package tensor
+
+// useAsmGemm gates the SSE2 micro-kernel in gemm_amd64.s. Scalar Go code
+// tops out at one multiply-add per cycle (Go emits scalar SSE2, and the
+// bit-exactness contract forbids FMA because each term must be a
+// separately-rounded multiply then add); the packed kernel retires two
+// lanes per port and doubles the ceiling without changing any bit of the
+// result.
+const useAsmGemm = true
+
+// gemmMadd2x8 accumulates the 2x8 C block {c0[0:8], c1[0:8]} over kn
+// ascending reduction steps with stride stepBytes between B rows. The
+// caller must guarantee kn > 0 row coefficients free of exact zeros (the
+// zero-skip stays in the Go fallback) and 8 addressable floats at each of
+// b's kn rows, c0, and c1.
+//
+//go:noescape
+func gemmMadd2x8(ap0, ap1, b, c0, c1 *float64, stepBytes, kn int)

@@ -1,0 +1,89 @@
+// SSE2 micro-kernel for the alpha == 1 Gemm hot path. Each XMM lane holds
+// ONE C element, so MULPD/ADDPD perform exactly the scalar kernel's
+// separately-rounded multiply and add per element, per k, in ascending k —
+// vectorizing across independent output columns preserves bit-exactness
+// (unlike FMA, which would fuse the rounding). SSE2 only: no MOVDDUP, no
+// VEX encodings, so the kernel runs on every amd64 the Go baseline targets.
+
+#include "textflag.h"
+
+// func gemmMadd2x8(ap0, ap1, b, c0, c1 *float64, stepBytes, kn int)
+//
+// Accumulates the 2x8 C block {c0[0:8], c1[0:8]} over kn reduction steps:
+//   c0[j] += ap0[k] * b[k*step+j]   (j = 0..7, k ascending)
+//   c1[j] += ap1[k] * b[k*step+j]
+// The caller guarantees ap0/ap1 hold NO exact zeros over the kn range, so
+// the naive kernel's zero-coefficient skip never fires and the loop needs
+// no branches. Sixteen accumulator lanes live in X0-X7; X8/X9 carry the
+// broadcast A coefficients; X10-X13 stream B.
+TEXT ·gemmMadd2x8(SB), NOSPLIT, $0-56
+	MOVQ ap0+0(FP), DI
+	MOVQ ap1+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ c0+24(FP), DX
+	MOVQ c1+32(FP), R9
+	MOVQ stepBytes+40(FP), R8
+	MOVQ kn+48(FP), CX
+
+	MOVUPD (DX), X0
+	MOVUPD 16(DX), X1
+	MOVUPD 32(DX), X2
+	MOVUPD 48(DX), X3
+	MOVUPD (R9), X4
+	MOVUPD 16(R9), X5
+	MOVUPD 32(R9), X6
+	MOVUPD 48(R9), X7
+
+	TESTQ CX, CX
+	JLE   store
+
+loop:
+	MOVSD    (DI), X8
+	MOVSD    (SI), X9
+	UNPCKLPD X8, X8
+	UNPCKLPD X9, X9
+	ADDQ     $8, DI
+	ADDQ     $8, SI
+
+	MOVUPD (BX), X10
+	MOVAPD X10, X11
+	MULPD  X8, X10
+	MULPD  X9, X11
+	ADDPD  X10, X0
+	ADDPD  X11, X4
+
+	MOVUPD 16(BX), X12
+	MOVAPD X12, X13
+	MULPD  X8, X12
+	MULPD  X9, X13
+	ADDPD  X12, X1
+	ADDPD  X13, X5
+
+	MOVUPD 32(BX), X10
+	MOVAPD X10, X11
+	MULPD  X8, X10
+	MULPD  X9, X11
+	ADDPD  X10, X2
+	ADDPD  X11, X6
+
+	MOVUPD 48(BX), X12
+	MOVAPD X12, X13
+	MULPD  X8, X12
+	MULPD  X9, X13
+	ADDPD  X12, X3
+	ADDPD  X13, X7
+
+	ADDQ R8, BX
+	SUBQ $1, CX
+	JNZ  loop
+
+store:
+	MOVUPD X0, (DX)
+	MOVUPD X1, 16(DX)
+	MOVUPD X2, 32(DX)
+	MOVUPD X3, 48(DX)
+	MOVUPD X4, (R9)
+	MOVUPD X5, 16(R9)
+	MOVUPD X6, 32(R9)
+	MOVUPD X7, 48(R9)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds run the pure-Go micro-kernels in blocked.go; the
+// constant keeps the asm dispatch dead-code-eliminated.
+const useAsmGemm = false
+
+func gemmMadd2x8(ap0, ap1, b, c0, c1 *float64, stepBytes, kn int) {
+	panic("tensor: gemmMadd2x8 is amd64-only")
+}

@@ -1,0 +1,294 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Parity tests: the blocked/tiled kernels must be BIT-identical to the naive
+// references in naive.go — same canonical reduce order, same zero-skip —
+// across ragged shapes (dims straddling rowTile/panelRows/kcBlock), every
+// transpose variant, beta in {0, 1, 0.5}, and worker counts 1/4/8.
+
+// parityRNG is a tiny deterministic generator so the tables need no seeds
+// from math/rand.
+type parityRNG uint64
+
+func (r *parityRNG) next() float64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	u := uint64(*r) >> 11
+	return float64(u)/float64(1<<53)*2 - 1
+}
+
+// fillParity populates data with a mix of regular values, exact +0/-0 (to
+// exercise the zero-skip path), and larger magnitudes.
+func fillParity(r *parityRNG, data []float64) {
+	for i := range data {
+		v := r.next()
+		switch {
+		case v > 0.8:
+			data[i] = 0
+		case v < -0.8:
+			data[i] = math.Copysign(0, -1)
+		default:
+			data[i] = v * 3
+		}
+	}
+}
+
+func parityMatrix(r *parityRNG, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	fillParity(r, m.Data)
+	return m
+}
+
+func bitsEqual(got, want []float64) (int, bool) {
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+var parityShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 7, 5},
+	{3, 4, 5},
+	{7, 13, 5},
+	{5, 300, 7},   // k crosses kcBlock
+	{31, 33, 2},   // m just under panelRows
+	{32, 32, 32},  // exact tile/panel multiples
+	{33, 65, 17},  // everything ragged
+	{129, 65, 64}, // m crosses panels, above parMinWork: parallel path runs
+	{64, 260, 31}, // k crosses kcBlock with ragged rows
+}
+
+var parityBetas = []float64{0, 1, 0.5}
+var parityWorkers = []int{1, 4, 8}
+
+func TestGemmParity(t *testing.T) {
+	r := parityRNG(1)
+	for _, w := range parityWorkers {
+		prev := SetWorkers(w)
+		for _, sh := range parityShapes {
+			for _, beta := range parityBetas {
+				a := parityMatrix(&r, sh.m, sh.k)
+				b := parityMatrix(&r, sh.k, sh.n)
+				cGot := parityMatrix(&r, sh.m, sh.n)
+				cWant := cGot.Clone()
+				Gemm(1.25, a, b, beta, cGot)
+				GemmNaive(1.25, a, b, beta, cWant)
+				if i, ok := bitsEqual(cGot.Data, cWant.Data); !ok {
+					t.Fatalf("Gemm workers=%d shape=%v beta=%v: element %d = %x want %x",
+						w, sh, beta, i, math.Float64bits(cGot.Data[i]), math.Float64bits(cWant.Data[i]))
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestGemmTAParity(t *testing.T) {
+	r := parityRNG(2)
+	for _, w := range parityWorkers {
+		prev := SetWorkers(w)
+		for _, sh := range parityShapes {
+			for _, beta := range parityBetas {
+				a := parityMatrix(&r, sh.k, sh.m) // A is (K x M)
+				b := parityMatrix(&r, sh.k, sh.n)
+				cGot := parityMatrix(&r, sh.m, sh.n)
+				cWant := cGot.Clone()
+				GemmTA(-0.75, a, b, beta, cGot)
+				GemmTANaive(-0.75, a, b, beta, cWant)
+				if i, ok := bitsEqual(cGot.Data, cWant.Data); !ok {
+					t.Fatalf("GemmTA workers=%d shape=%v beta=%v: element %d = %x want %x",
+						w, sh, beta, i, math.Float64bits(cGot.Data[i]), math.Float64bits(cWant.Data[i]))
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestGemmTBParity(t *testing.T) {
+	r := parityRNG(3)
+	for _, w := range parityWorkers {
+		prev := SetWorkers(w)
+		for _, sh := range parityShapes {
+			for _, beta := range parityBetas {
+				a := parityMatrix(&r, sh.m, sh.k)
+				b := parityMatrix(&r, sh.n, sh.k) // B is (N x K)
+				cGot := parityMatrix(&r, sh.m, sh.n)
+				cWant := cGot.Clone()
+				GemmTB(2, a, b, beta, cGot)
+				GemmTBNaive(2, a, b, beta, cWant)
+				if i, ok := bitsEqual(cGot.Data, cWant.Data); !ok {
+					t.Fatalf("GemmTB workers=%d shape=%v beta=%v: element %d = %x want %x",
+						w, sh, beta, i, math.Float64bits(cGot.Data[i]), math.Float64bits(cWant.Data[i]))
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestGemvParity(t *testing.T) {
+	r := parityRNG(4)
+	shapes := []struct{ rows, cols int }{
+		{1, 1}, {3, 7}, {33, 65}, {129, 31}, {300, 200}, // last one fans out
+	}
+	for _, w := range parityWorkers {
+		prev := SetWorkers(w)
+		for _, sh := range shapes {
+			for _, beta := range parityBetas {
+				a := parityMatrix(&r, sh.rows, sh.cols)
+				x := make([]float64, sh.cols)
+				fillParity(&r, x)
+				yGot := make([]float64, sh.rows)
+				fillParity(&r, yGot)
+				yWant := append([]float64(nil), yGot...)
+				Gemv(1.5, a, x, beta, yGot)
+				GemvNaive(1.5, a, x, beta, yWant)
+				if i, ok := bitsEqual(yGot, yWant); !ok {
+					t.Fatalf("Gemv workers=%d shape=%v beta=%v: element %d = %x want %x",
+						w, sh, beta, i, math.Float64bits(yGot[i]), math.Float64bits(yWant[i]))
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestGemvTParity(t *testing.T) {
+	r := parityRNG(5)
+	shapes := []struct{ rows, cols int }{
+		{1, 1}, {7, 3}, {65, 33}, {31, 129}, {200, 300}, // last one fans out
+	}
+	for _, w := range parityWorkers {
+		prev := SetWorkers(w)
+		for _, sh := range shapes {
+			for _, beta := range parityBetas {
+				a := parityMatrix(&r, sh.rows, sh.cols)
+				x := make([]float64, sh.rows)
+				fillParity(&r, x)
+				yGot := make([]float64, sh.cols)
+				fillParity(&r, yGot)
+				yWant := append([]float64(nil), yGot...)
+				GemvT(-1.25, a, x, beta, yGot)
+				GemvTNaive(-1.25, a, x, beta, yWant)
+				if i, ok := bitsEqual(yGot, yWant); !ok {
+					t.Fatalf("GemvT workers=%d shape=%v beta=%v: element %d = %x want %x",
+						w, sh, beta, i, math.Float64bits(yGot[i]), math.Float64bits(yWant[i]))
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+// TestGemmParityAllZeroRows pins the zero-skip contract on inputs built to
+// hit every tile fallback branch: whole A rows of exact zeros inside a
+// 4-row register tile, mixed with nonzero rows.
+func TestGemmParityAllZeroRows(t *testing.T) {
+	r := parityRNG(6)
+	a := parityMatrix(&r, 8, 12)
+	for k := 0; k < 12; k++ {
+		a.Set(1, k, 0)                    // row fully +0
+		a.Set(2, k, math.Copysign(0, -1)) // row fully -0
+	}
+	b := parityMatrix(&r, 12, 9)
+	for _, beta := range parityBetas {
+		cGot := parityMatrix(&r, 8, 9)
+		cWant := cGot.Clone()
+		Gemm(1, a, b, beta, cGot)
+		GemmNaive(1, a, b, beta, cWant)
+		if i, ok := bitsEqual(cGot.Data, cWant.Data); !ok {
+			t.Fatalf("beta=%v element %d = %x want %x",
+				beta, i, math.Float64bits(cGot.Data[i]), math.Float64bits(cWant.Data[i]))
+		}
+	}
+}
+
+// TestGemmParityDenseAlphaOne pins the packed (SSE2) kernel path: alpha == 1
+// with zero-free A routes every full 2x8 tile through gemmMadd2x8 on amd64,
+// and the result must still be bit-identical to the naive reference.
+func TestGemmParityDenseAlphaOne(t *testing.T) {
+	r := parityRNG(8)
+	dense := func(rows, cols int) *Matrix {
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = r.next() + 2 // no exact zeros
+		}
+		return m
+	}
+	for _, w := range parityWorkers {
+		prev := SetWorkers(w)
+		for _, sh := range parityShapes {
+			for _, beta := range parityBetas {
+				a := dense(sh.m, sh.k)
+				b := parityMatrix(&r, sh.k, sh.n)
+				cGot := parityMatrix(&r, sh.m, sh.n)
+				cWant := cGot.Clone()
+				Gemm(1, a, b, beta, cGot)
+				GemmNaive(1, a, b, beta, cWant)
+				if i, ok := bitsEqual(cGot.Data, cWant.Data); !ok {
+					t.Fatalf("dense Gemm workers=%d shape=%v beta=%v: element %d = %x want %x",
+						w, sh, beta, i, math.Float64bits(cGot.Data[i]), math.Float64bits(cWant.Data[i]))
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	if got := Workers(); got != 1 {
+		t.Fatalf("default Workers() = %d, want 1", got)
+	}
+	if prev := SetWorkers(4); prev != 1 {
+		t.Fatalf("SetWorkers(4) returned prev %d, want 1", prev)
+	}
+	if got := Workers(); got != 4 {
+		t.Fatalf("Workers() after SetWorkers(4) = %d, want 4", got)
+	}
+	if prev := SetWorkers(0); prev != 4 {
+		t.Fatalf("SetWorkers(0) returned prev %d, want 4", prev)
+	}
+	if got := Workers(); got != 1 {
+		t.Fatalf("Workers() after SetWorkers(0) = %d, want 1 (clamped)", got)
+	}
+}
+
+// TestParallelGemmRace runs concurrent Gemm calls under SetWorkers > 1 so
+// the CI race job exercises the kernel fan-out.
+func TestParallelGemmRace(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	const mdim = 129
+	r := parityRNG(7)
+	a := parityMatrix(&r, mdim, 64)
+	b := parityMatrix(&r, 64, 65)
+	want := NewMatrix(mdim, 65)
+	GemmNaive(1, a, b, 0, want)
+	done := make(chan error, 3)
+	for g := 0; g < 3; g++ {
+		go func() {
+			c := NewMatrix(mdim, 65)
+			for it := 0; it < 5; it++ {
+				Gemm(1, a, b, 0, c)
+			}
+			if i, ok := bitsEqual(c.Data, want.Data); !ok {
+				done <- fmt.Errorf("element %d differs", i)
+				return
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

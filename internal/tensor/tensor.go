@@ -138,6 +138,14 @@ func (m *Matrix) Clone() *Matrix {
 // means "overwrite the destination", NOT "scale it by zero". The
 // distinction matters because 0 * NaN = NaN — a destination holding stale
 // NaN/Inf (e.g. a reused scratch buffer) must not poison the result.
+//
+// The Gem*/Gemv* kernels below are cache-blocked and register-tiled (see
+// blocked.go) and optionally fan output-row panels across a goroutine pool
+// (SetWorkers; default 1 = serial). Every variant is bit-identical to its
+// naive reference in naive.go at every worker count: per output element the
+// floating-point operation sequence is the canonical reduce order — the
+// beta-scaled destination plus one addition per term in ascending reduction
+// index, with exact-zero A coefficients skipped in the axpy-form kernels.
 
 // Gemv computes y = alpha*A*x + beta*y for a row-major A (Rows x Cols),
 // len(x) == Cols, len(y) == Rows. beta == 0 overwrites y.
@@ -145,18 +153,7 @@ func Gemv(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("tensor: Gemv dimension mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
-		}
-		if beta == 0 {
-			y[i] = alpha * s
-		} else {
-			y[i] = alpha*s + beta*y[i]
-		}
-	}
+	gemvBlocked(alpha, a, x, beta, y)
 }
 
 // GemvT computes y = alpha*A^T*x + beta*y, len(x) == Rows, len(y) == Cols.
@@ -165,53 +162,16 @@ func GemvT(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
 	if len(x) != a.Rows || len(y) != a.Cols {
 		panic("tensor: GemvT dimension mismatch")
 	}
-	if beta == 0 {
-		Zero(y)
-	} else if beta != 1 {
-		for j := range y {
-			y[j] *= beta
-		}
-	}
-	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		ax := alpha * x[i]
-		if ax == 0 {
-			continue
-		}
-		for j, v := range row {
-			y[j] += ax * v
-		}
-	}
+	gemvTBlocked(alpha, a, x, beta, y)
 }
 
 // Gemm computes C = alpha*A*B + beta*C. A is (M x K), B is (K x N),
-// C is (M x N). The k-inner ordering keeps B accesses sequential.
-// beta == 0 overwrites C.
+// C is (M x N). beta == 0 overwrites C.
 func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic("tensor: Gemm dimension mismatch")
 	}
-	if beta == 0 {
-		Zero(c.Data)
-	} else if beta != 1 {
-		for i := range c.Data {
-			c.Data[i] *= beta
-		}
-	}
-	for i := 0; i < a.Rows; i++ {
-		crow := c.Row(i)
-		arow := a.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := alpha * arow[k]
-			if aik == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				crow[j] += aik * bv
-			}
-		}
-	}
+	gemmBlocked(alpha, a, b, beta, c)
 }
 
 // GemmTA computes C = alpha*A^T*B + beta*C. A is (K x M), B is (K x N),
@@ -220,27 +180,7 @@ func GemmTA(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic("tensor: GemmTA dimension mismatch")
 	}
-	if beta == 0 {
-		Zero(c.Data)
-	} else if beta != 1 {
-		for i := range c.Data {
-			c.Data[i] *= beta
-		}
-	}
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			aik := alpha * av
-			if aik == 0 {
-				continue
-			}
-			crow := c.Row(i)
-			for j, bv := range brow {
-				crow[j] += aik * bv
-			}
-		}
-	}
+	gemmTABlocked(alpha, a, b, beta, c)
 }
 
 // GemmTB computes C = alpha*A*B^T + beta*C. A is (M x K), B is (N x K),
@@ -249,16 +189,5 @@ func GemmTB(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic("tensor: GemmTB dimension mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			s := Dot(arow, b.Row(j))
-			if beta == 0 {
-				crow[j] = alpha * s
-			} else {
-				crow[j] = alpha*s + beta*crow[j]
-			}
-		}
-	}
+	gemmTBBlocked(alpha, a, b, beta, c)
 }
