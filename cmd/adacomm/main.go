@@ -14,6 +14,9 @@
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -links "0:,0:,0:,0:25.6"
 //	adacomm -arch logistic -method adacomm -bandwidth 256 -links "0:,0:,0:,0:25.6" -link-aware
 //	adacomm -arch logistic -method fixed -tau 5 -strategy ring -compress topk:0.1 -gossip-gamma 0.5
+//	adacomm -arch logistic -method fixed -tau 5 -strategy ring -workers 16 -topology torus:4x4
+//	adacomm -arch logistic -method fixed -tau 5 -strategy ring -workers 16 -topology "varying:ring,star@B=5" -compress topk:0.25 -adapt-gossip-gamma
+//	adacomm -arch logistic -method fixed -tau 5 -strategy ring -workers 16 -topology torus:4x4 -edge-links "3-4:10:"
 //	adacomm -arch logistic -method fixed -async -clients 1024 -participation 32 -tau 4
 //	adacomm -arch logistic -method fixed -async -participation 6 -workers 8 -link-aware
 package main
@@ -61,16 +64,24 @@ func main() {
 	adaptCompression := flag.Bool("adapt-compression", false,
 		"with -method adacomm: jointly adapt (tau, compression ratio) per interval")
 	topologyFlag := flag.String("topology", "allgather",
-		"all-reduce routing: allgather | ring | tree | star (pricing only; allgather is the paper's overlapped broadcast)")
+		"all-reduce routing (allgather | ring | tree | star; pricing only) or, with -strategy ring, "+
+			"a gossip mixing graph: complete | expander | torus:RxC | regular:D[@SEED] | graph:ring | "+
+			"graph:star | varying:SPEC,SPEC,...[@B=N]")
 	linksFlag := flag.String("links", "",
 		"per-worker heterogeneous links as comma-separated latency:bandwidth pairs, one per worker "+
 			"(empty part = inherit; e.g. \"0:,0:,0:,0:25.6\" makes the last worker's link slow)")
+	edgeLinksFlag := flag.String("edge-links", "",
+		"per-edge link overrides for gossip graph rounds as comma-separated I-J:latency:bandwidth "+
+			"entries, priced in both directions (empty part = inherit; e.g. \"3-4:10:\" makes edge 3-4 slow)")
 	linkAware := flag.Bool("link-aware", false,
 		"with -method adacomm: scale tau by the observed comm/compute ratio (slow links hold tau higher)")
 	strategyFlag := flag.String("strategy", "full",
 		"synchronization strategy: full | ring | elastic (ring + -compress runs CHOCO-SGD gossip)")
 	gossipGamma := flag.Float64("gossip-gamma", 0,
 		"CHOCO consensus step size in (0,1] for -strategy ring with -compress (0 = default 1)")
+	adaptGossipGamma := flag.Bool("adapt-gossip-gamma", false,
+		"with -strategy ring and -compress: set the consensus step from the mixing graph's "+
+			"spectral gap (sqrt(gap), clamped; excludes -gossip-gamma)")
 	async := flag.Bool("async", false,
 		"run the event-driven engine (K-of-m partial participation) instead of the round-barrier PASGD engine")
 	participation := flag.Int("participation", 0,
@@ -146,6 +157,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "adacomm: -async supports only -strategy full (K-of-m averaging)")
 		case *topologyFlag != "allgather":
 			fmt.Fprintln(os.Stderr, "adacomm: -async prices point-to-point links; -topology does not apply")
+		case *edgeLinksFlag != "":
+			fmt.Fprintln(os.Stderr, "adacomm: -edge-links prices gossip graph rounds; not available with -async")
+		case *adaptGossipGamma:
+			fmt.Fprintln(os.Stderr, "adacomm: -adapt-gossip-gamma needs -strategy ring; not available with -async")
 		case *momentum != 0 || *blockMomentum != 0:
 			fmt.Fprintln(os.Stderr, "adacomm: -async does not support momentum (local state defeats client sharding)")
 		case *variableLR:
@@ -191,6 +206,12 @@ func main() {
 		os.Exit(2)
 	}
 	w.Delay.Links = links
+	edgeLinks, err := delaymodel.ParseEdgeLinks(*edgeLinksFlag, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(2)
+	}
+	w.Delay.EdgeLinks = edgeLinks
 
 	var sched sgd.Schedule = sgd.Const{Eta: *lr}
 	if *variableLR {
@@ -198,18 +219,19 @@ func main() {
 	}
 
 	cfg := cluster.Config{
-		BatchSize:     *batch,
-		Momentum:      *momentum,
-		BlockMomentum: *blockMomentum,
-		MaxTime:       *budget,
-		EvalEvery:     100,
-		EvalSubset:    512,
-		AccEverySync:  5,
-		Strategy:      strategy,
-		GossipGamma:   *gossipGamma,
-		Compress:      spec,
-		Topology:      topology,
-		Seed:          *seed + 1,
+		BatchSize:        *batch,
+		Momentum:         *momentum,
+		BlockMomentum:    *blockMomentum,
+		MaxTime:          *budget,
+		EvalEvery:        100,
+		EvalSubset:       512,
+		AccEverySync:     5,
+		Strategy:         strategy,
+		GossipGamma:      *gossipGamma,
+		AdaptGossipGamma: *adaptGossipGamma,
+		Compress:         spec,
+		Topology:         topology,
+		Seed:             *seed + 1,
 	}
 	// Construct directly (not via experiments.Workload.Engine, which
 	// panics): invalid flag combinations — a gossip gamma without a ring,

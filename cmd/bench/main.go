@@ -41,11 +41,13 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/delaymodel"
 	"repro/internal/events"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/sgd"
@@ -183,6 +185,40 @@ func strategySetup(strat cluster.Strategy, spec compress.Spec) func() {
 	}
 }
 
+// graphMixSetup times one gossip round (10 local steps + sync) over the
+// 4x4 torus — the graph-generic mix path at m = 16 and degree 4, against
+// RingGossipRound's m = 4 ring. The per-sync scratch (snapshots, active
+// adjacency) is engine-owned; the steady-state allocs/op here is the data
+// sampler's epoch reshuffle (16 small shards wrap every round), measured
+// identical under the legacy ring at the same m — the mix path adds none.
+func graphMixSetup() func() {
+	topo, err := comm.ParseTopology("torus:4x4")
+	if err != nil {
+		panic(err)
+	}
+	w := experiments.BuildWorkload(experiments.ArchLogistic, 4, 16, experiments.ScaleQuick, 3)
+	e := w.Engine(cluster.Config{
+		BatchSize: 8, MaxIters: 1 << 30, EvalEvery: 1 << 30,
+		ComputeWorkers: 1, Strategy: cluster.RingGossip, Topology: topo, Seed: 4,
+	})
+	return func() {
+		e.StepLocal(10, 0.1)
+		e.SyncNow()
+	}
+}
+
+// spectralGapSetup times graph construction including the deflated power
+// iteration for 1 - lambda_2. The 64-node ring is the slow case among the
+// shipped constructors: its gap is ~1e-3, the deflation ratio is near 1,
+// and the iteration runs close to its sweep cap before the tolerance hits.
+func spectralGapSetup() func() {
+	return func() {
+		if g := graph.Ring(64); g.SpectralGap() <= 0 {
+			panic("bench: ring(64) spectral gap not positive")
+		}
+	}
+}
+
 // eventQueueSetup times the discrete-event scheduler's raw throughput:
 // push 4096 events with colliding times (exercising the seeded tie-break)
 // and drain them. Events/sec = 8192 / (ns_per_op * 1e-9); mirrors the
@@ -313,6 +349,8 @@ func main() {
 			return strategySetup(cluster.ElasticAveraging,
 				compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true})
 		}},
+		{"GraphMixRound", 0, func() func() { return graphMixSetup() }},
+		{"SpectralGap/64", 0, func() func() { return spectralGapSetup() }},
 		{"EventQueue/4096", 0, func() func() { return eventQueueSetup() }},
 		{"AsyncRun/8of64", 20, func() func() { return asyncRunSetup(64, 8, 10) }},
 		{"AsyncShard/1024", 10, func() func() { return asyncShardSetup() }},

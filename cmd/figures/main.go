@@ -14,6 +14,7 @@
 //	figures -async          # async-vs-sync ablation (event-driven engine)
 //	figures -wire float32   # float32-vs-float64 wire ablation
 //	figures -gossip -wire float32  # gossip grid with narrowed compressed cells
+//	figures -topology       # mixing-topology ablation under a slow edge
 //
 // Each figure's methods are independent training runs, so they execute
 // concurrently on the experiment pool (default width GOMAXPROCS); the
@@ -55,6 +56,8 @@ func main() {
 		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
 	gossip := flag.Bool("gossip", false,
 		"run the gossip-compression ablation grid (CHOCO ring vs shared-reference averaging) instead of the paper figures")
+	topology := flag.Bool("topology", false,
+		"run the mixing-topology ablation (ring/torus/random-regular/complete under a slow edge) instead of the paper figures")
 	async := flag.Bool("async", false,
 		"run the async-vs-sync ablation (event-driven K-of-m vs round-barrier engines under a 10x straggler) instead of the paper figures")
 	wireFlag := flag.String("wire", "",
@@ -91,9 +94,23 @@ func main() {
 		scale = experiments.ScaleQuick
 	}
 	out := os.Stdout
-	if *gossip && *async {
-		fmt.Fprintln(os.Stderr, "figures: -gossip and -async are separate ablations; pick one")
+	modes := 0
+	for _, on := range []bool{*gossip, *async, *topology} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "figures: -gossip, -async, and -topology are separate ablations; pick one")
 		os.Exit(2)
+	}
+	if *topology {
+		if *fig != 0 || *table != 0 || *bytes != 0 || *csvDir != "" || *wireFlag != "" {
+			fmt.Fprintln(os.Stderr, "figures: -topology runs only the topology ablation; it cannot combine with -fig/-table/-bytes/-csv/-wire")
+			os.Exit(2)
+		}
+		experiments.PrintTopologyGrid(out, experiments.RunTopologyGrid(experiments.DefaultTopologyGrid(scale)))
+		return
 	}
 	// Standalone -wire runs the wire ablation; with -gossip it narrows the
 	// grid's compressed cells instead. Any other combination is rejected.

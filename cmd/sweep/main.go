@@ -14,6 +14,7 @@
 //	sweep -ablation gossip -wire float32  # ... with narrowed compressed cells
 //	sweep -ablation async    # event-driven K-of-m vs round-barrier engines
 //	sweep -ablation wire     # float32 vs float64 wire at fixed tau
+//	sweep -ablation topology # mixing graphs under a per-edge straggler
 //	sweep -ablation all
 //
 // Grid cells are independent configurations and run concurrently on the
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | async | wire | all")
+	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | async | wire | topology | all")
 	quick := flag.Bool("quick", false, "use reduced sizes")
 	workers := flag.Int("workers", 0,
 		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
@@ -108,6 +109,10 @@ func main() {
 	}
 	if all || *which == "wire" {
 		experiments.PrintWireAblation(out, experiments.WireAblation(scale))
+		fmt.Fprintln(out)
+	}
+	if all || *which == "topology" {
+		experiments.PrintTopologyGrid(out, experiments.RunTopologyGrid(experiments.DefaultTopologyGrid(scale)))
 		fmt.Fprintln(out)
 	}
 }

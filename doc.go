@@ -33,6 +33,31 @@
 // CHOCO against the shared-reference centralized baseline at several ring
 // sizes and keep-ratios.
 //
+// Gossip is graph-native: internal/graph supplies a first-class Graph
+// (ring, torus, random-regular, expander, star, complete, plus seeded
+// time-varying B-connected sequences) that comm.Topology adapts and both
+// gossip paths consume uniformly via Neighbors/MixOrder/MixWeights. The
+// mixing matrix W is Metropolis-Hastings — symmetric, doubly stochastic,
+// W_ii > 0 on every connected graph — and rows that are structurally
+// uniform return nil weights and MUST be mixed as (ordered sum)/count,
+// one division, which is how ring-over-graph reproduces the legacy ring
+// arithmetic bit for bit. Each Graph carries its spectral gap 1-lambda_2
+// (deflated power iteration at construction); Config.AdaptGossipGamma
+// sets the CHOCO consensus step per active graph as
+// clamp(sqrt(gap), 0.05, 1) — fast mixers take near-full steps, slow
+// mixers damp toward CHOCO's small-gamma regime — the same
+// measure-then-adapt move AdaComm makes for tau. On the runtime side,
+// delaymodel.Model.EdgeLinks prices individual links so the slowest
+// ACTIVE edge gates each gossip round (unset: bit-identical to the
+// per-worker path), which is what lets a sparse graph genuinely win
+// wall-clock: the topology ablation (cmd/figures -topology, cmd/sweep
+// -ablation topology) shows a 4x4 torus beating BOTH the ring and full
+// averaging on time-to-loss under a single 10x edge, because it routes
+// around the slow link while mixing with an O(1/n) spectral gap. Parse
+// specs: "graph:ring", "torus:4x4", "regular:4@seed", "expander",
+// "varying:ring,star@B=5" (cmd/adacomm -topology, -edge-links,
+// -adapt-gossip-gamma).
+//
 // All model/gradient exchange routes through the unified communication
 // layer in internal/comm: a Communicator (AllReduce / Push / Pull with
 // per-message payload accounting) whose aggregation hot path index-merges

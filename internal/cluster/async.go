@@ -291,6 +291,9 @@ func NewAsync(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.D
 	if err := dm.CheckLinks(); err != nil {
 		return nil, err
 	}
+	if dm.EdgeLinks != nil {
+		return nil, fmt.Errorf("cluster: per-edge links price gossip graph rounds; the async engine's star exchange uses per-worker Links")
+	}
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 100
 	}

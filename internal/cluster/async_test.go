@@ -93,6 +93,12 @@ func TestAsyncValidation(t *testing.T) {
 	if _, err := NewAsync(s.proto, s.shards, s.train, s.test, badDM, baseAsyncCfg()); err == nil {
 		t.Error("accepted delay model with wrong worker count")
 	}
+	// Per-edge links price gossip graph rounds, not the async star exchange.
+	edgeDM := delaymodel.New(8, rng.Constant{Value: 1}, rng.Constant{Value: 1}, nil)
+	edgeDM.EdgeLinks = map[delaymodel.Edge]delaymodel.Link{{From: 0, To: 1}: {Latency: 1}}
+	if _, err := NewAsync(s.proto, s.shards, s.train, s.test, edgeDM, baseAsyncCfg()); err == nil {
+		t.Error("accepted per-edge links on the async engine")
+	}
 }
 
 func TestStalenessWeight(t *testing.T) {

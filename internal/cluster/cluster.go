@@ -58,6 +58,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/delaymodel"
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/par"
@@ -123,14 +124,25 @@ type Config struct {
 	ElasticBeta  float64
 
 	// GossipGamma is the consensus step size of compressed (CHOCO-SGD)
-	// ring gossip: each node moves gamma of the way toward its
-	// neighborhood's estimate average, x_i += gamma * sum_j W_ij
-	// (x̂_j - x̂_i). The zero value defaults to 1, which makes lossless
-	// compression reproduce the raw ring mix bit for bit; aggressive lossy
-	// compressors typically want gamma < 1 to damp the estimate noise.
-	// Explicit values must lie in (0, 1] and require RingGossip with
-	// compression enabled.
+	// gossip: each node moves gamma of the way toward its neighborhood's
+	// estimate average, x_i += gamma * sum_j W_ij (x̂_j - x̂_i), with W the
+	// active mixing graph's matrix. The zero value defaults to 1, which
+	// makes lossless compression reproduce the raw gossip mix bit for bit;
+	// aggressive lossy compressors typically want gamma < 1 to damp the
+	// estimate noise. Explicit values must lie in (0, 1] and require
+	// RingGossip with compression enabled.
 	GossipGamma float64
+
+	// AdaptGossipGamma derives the consensus step from each mixing graph's
+	// measured spectral gap instead of a hand-picked constant:
+	// gamma = sqrt(1 - lambda_2(W)) clamped to [0.05, 1]
+	// (graph.AdaptiveGamma) — the same measure-then-scale shape AdaComm
+	// applies to tau. Well-connected graphs run full-strength consensus;
+	// slow-mixing ones damp it so compressed estimate noise cannot be
+	// amplified around the cycle. Requires RingGossip with compression and
+	// excludes an explicit GossipGamma; under a time-varying sequence each
+	// graph gets its own gamma.
+	AdaptGossipGamma bool
 
 	// Compress selects the delta-compression scheme used at averaging
 	// points (see the package comment). The zero value (compress.None)
@@ -141,13 +153,21 @@ type Config struct {
 	// reference (the published replica mean / the center variable).
 	Compress compress.Spec
 
-	// Topology selects how full averaging's all-reduce is routed
-	// (internal/comm): it scales the round's communication delay by the
-	// topology's transfer schedule without changing the aggregation math.
-	// The zero value (comm.AllGather) is the legacy overlapped all-gather,
-	// bit-identical to the pre-comm-layer engine. Requires FullAveraging:
-	// ring gossip and elastic averaging keep the legacy single-overlapped-
-	// hop pricing on their own (per-worker, payload-aware) message sizes.
+	// Topology selects either how full averaging's all-reduce is routed, or
+	// which mixing graph gossip runs over (internal/comm). A collective
+	// topology (ring/tree/star all-reduce schedules) scales the round's
+	// communication delay by its transfer schedule without changing the
+	// aggregation math, and requires FullAveraging; the zero value
+	// (comm.AllGather) is the legacy overlapped all-gather, bit-identical
+	// to the pre-comm-layer engine. A GRAPH topology (comm.Topology.IsGraph
+	// — "torus:4x4", "regular:4@7", "varying:ring,star@B=5", ...) instead
+	// names the gossip mixing graph and requires RingGossip: each node
+	// mixes over graph.Neighbors(i) with the graph's doubly stochastic
+	// weights, time-varying sequences advance the active graph once per
+	// synchronization, and the round keeps gossip's single-overlapped-hop
+	// pricing — per ACTIVE EDGE when the delay model sets EdgeLinks. The
+	// RingGossip strategy with the zero-value Topology runs the default
+	// ring graph, bit-identical to the legacy hard-coded ring.
 	Topology comm.Topology
 
 	Seed uint64
@@ -189,12 +209,24 @@ func (c Config) validate(m int) error {
 			return fmt.Errorf("cluster: gossip gamma %v out of (0,1]", c.GossipGamma)
 		}
 	}
+	if c.AdaptGossipGamma {
+		if c.Strategy != RingGossip || !c.Compress.Enabled() {
+			return fmt.Errorf("cluster: adaptive gossip gamma requires RingGossip with compression")
+		}
+		if c.GossipGamma != 0 {
+			return fmt.Errorf("cluster: adaptive gossip gamma excludes an explicit GossipGamma (%g)", c.GossipGamma)
+		}
+	}
 	if c.Compress.Enabled() {
 		if err := c.Compress.Validate(); err != nil {
 			return err
 		}
 	}
-	if c.Topology != comm.AllGather && c.Strategy != FullAveraging {
+	if c.Topology.IsGraph() {
+		if c.Strategy != RingGossip {
+			return fmt.Errorf("cluster: gossip graph topology %s requires RingGossip, got %s", c.Topology, c.Strategy)
+		}
+	} else if c.Topology != comm.AllGather && c.Strategy != FullAveraging {
 		return fmt.Errorf("cluster: topology %s requires FullAveraging, got %s", c.Topology, c.Strategy)
 	}
 	return nil
@@ -236,8 +268,10 @@ type RoundInfo struct {
 	// schedule (delaymodel.SampleDScheduleInto: link latency times the
 	// topology's hops plus wire bytes over the link's bandwidth, before the
 	// model's scale factor) — which link gated the round and by how much.
-	// The slice is engine-owned and overwritten every round; controllers
-	// must not retain or mutate it. Nil before the first round.
+	// Under per-edge pricing (delaymodel.Model.EdgeLinks on a gossip graph)
+	// it is instead worker i's slowest ACTIVE outgoing edge. The slice is
+	// engine-owned and overwritten every round; controllers must not retain
+	// or mutate it. Nil before the first round.
 	LinkTimes []float64
 }
 
@@ -332,6 +366,21 @@ type Engine struct {
 	denseRep comm.Report
 	gossip   *gossipState
 
+	// Gossip mixing graphs (nil unless Strategy is RingGossip): gseq is the
+	// (possibly time-varying) graph sequence — the default ring when
+	// Topology is not a graph — syncs counts completed gossip
+	// synchronizations (advancing the active graph), activeAdj is the
+	// adjacency of the most recent sync's graph (what the per-edge delay
+	// pricing charges; nil before the first sync and on non-gossip
+	// strategies, delegating to the per-worker path bit-identically),
+	// gammas holds the per-graph adaptive consensus steps when
+	// AdaptGossipGamma is set, and mixBuf is the CHOCO mix scratch.
+	gseq      *graph.Sequence
+	syncs     int
+	activeAdj [][]int
+	gammas    []float64
+	mixBuf    []float64
+
 	evalModel *nn.Network // scratch replica for loss/accuracy evaluation
 	evalSet   *data.Dataset
 	testSet   *data.Dataset
@@ -359,6 +408,12 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 	if err := dm.CheckLinks(); err != nil {
 		return nil, err
 	}
+	if err := dm.CheckEdgeLinks(); err != nil {
+		return nil, err
+	}
+	if dm.EdgeLinks != nil && cfg.Strategy != RingGossip {
+		return nil, fmt.Errorf("cluster: per-edge links price gossip graph rounds and require RingGossip, got %s", cfg.Strategy)
+	}
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 100
 	}
@@ -372,7 +427,7 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 			cfg.ElasticBeta = 0.5
 		}
 	}
-	if cfg.Strategy == RingGossip && cfg.Compress.Enabled() && cfg.GossipGamma == 0 {
+	if cfg.Strategy == RingGossip && cfg.Compress.Enabled() && cfg.GossipGamma == 0 && !cfg.AdaptGossipGamma {
 		cfg.GossipGamma = 1
 	}
 	root := rng.New(cfg.Seed)
@@ -474,6 +529,25 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 	}
 	switch cfg.Strategy {
 	case RingGossip:
+		// The mixing graph sequence: the default ring graph's rows carry
+		// the exact legacy accumulation order ([prev, self, next], summed
+		// then divided once), so the zero-value Topology reproduces the
+		// hard-coded ring gossip bit for bit.
+		if cfg.Topology.IsGraph() {
+			seq, err := cfg.Topology.Graphs(m)
+			if err != nil {
+				return nil, err
+			}
+			e.gseq = seq
+		} else {
+			e.gseq = graph.Static(graph.Ring(m))
+		}
+		if cfg.AdaptGossipGamma {
+			e.gammas = make([]float64, e.gseq.Len())
+			for i := range e.gammas {
+				e.gammas[i] = graph.AdaptiveGamma(e.gseq.Graph(i).SpectralGap())
+			}
+		}
 		e.meanVecs = make([][]float64, m)
 		if e.comps == nil {
 			e.snapBack = make([]float64, m*e.dim)
@@ -489,6 +563,7 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 			// the estimates exactly; see averageRingChoco. A float32 wire
 			// is lossy, so it takes the general estimate-delta path.
 			e.repBytes = make([]int, m)
+			e.mixBuf = make([]float64, e.dim)
 			e.gossip = newGossipState(m, e.global, cfg.GossipGamma,
 				cfg.Compress.Lossless())
 			for i := range e.gossip.nodes {
@@ -537,8 +612,12 @@ func (e *Engine) TestAccuracy() float64 {
 // per-worker wire bytes from the communicator, scaled by the topology's hop
 // multipliers and priced on each worker's own link when the delay model is
 // heterogeneous — and the per-worker transfer times land in e.linkTimes for
-// the next RoundInfo. On a homogeneous infinite-bandwidth all-gather comm is
-// the paper's fixed D.
+// the next RoundInfo. When per-edge links are configured (Model.EdgeLinks)
+// and a gossip graph is active (e.activeAdj, published by the sync just
+// performed), each transfer is priced on its actual edges instead and the
+// slowest ACTIVE edge gates the round; with either absent the call delegates
+// to the per-worker path bit for bit. On a homogeneous infinite-bandwidth
+// all-gather comm is the paper's fixed D.
 func (e *Engine) roundTime(steps int) (compute, comm float64) {
 	mx := math.Inf(-1)
 	for i := 0; i < e.m; i++ {
@@ -550,7 +629,7 @@ func (e *Engine) roundTime(steps int) (compute, comm float64) {
 			mx = v
 		}
 	}
-	comm = e.delay.SampleDScheduleInto(e.r, e.lastReport.Bytes, e.latHops, e.bytesFactor, e.linkTimes)
+	comm = e.delay.SampleDEdgeScheduleInto(e.r, e.lastReport.Bytes, e.activeAdj, e.latHops, e.bytesFactor, e.linkTimes)
 	return mx, comm
 }
 

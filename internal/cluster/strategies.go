@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/compress"
+	"repro/internal/graph"
 	"repro/internal/tensor"
 )
 
@@ -15,34 +16,37 @@ import (
 // their synchronization period too.
 //
 // Both variants honor Config.Compress and report per-worker payload bytes
-// through the communication layer. Compressed ring gossip is CHOCO-SGD
+// through the communication layer. Compressed gossip is CHOCO-SGD
 // (Koloskova et al. 2019): every node i maintains estimate vectors x̂_j for
-// itself and its ring neighbors, updated ONLY by applying the compressed
+// itself and its graph neighbors, updated ONLY by applying the compressed
 // messages q_j = C(x_j - x̂_j) that travel the wire, and mixes via
 //
 //	x_i <- x_i + gamma * sum_j W_ij (x̂_j - x̂_i)
 //
-// with the uniform ring mixing matrix W and the consensus step size
-// Config.GossipGamma. No quantity in the algorithm requires state a real
-// decentralized node could not reconstruct from its own messages — there is
-// no shared reference vector. Elastic averaging ships each replica's
-// displacement from the center. Their rounds keep the legacy
-// single-overlapped-hop pricing (Config.Topology is rejected for them), so
-// only the message sizes — not hop multipliers — differ from full
-// averaging. With compression disabled they take the legacy raw paths, bit
-// for bit.
+// with the mixing matrix W of the active graph.Graph (the uniform ring by
+// default; Config.Topology selects any graph spec, including seeded
+// time-varying sequences) and the consensus step size Config.GossipGamma.
+// No quantity in the algorithm requires state a real decentralized node
+// could not reconstruct from its own messages — there is no shared
+// reference vector. Elastic averaging ships each replica's displacement
+// from the center. Their rounds keep the legacy single-overlapped-hop
+// pricing (collective Topology values are rejected for them), so only the
+// message sizes — not hop multipliers — differ from full averaging. With
+// compression disabled they take the legacy raw paths, bit for bit.
 type Strategy int
 
 const (
 	// FullAveraging is PASGD's all-node model average (paper eq 3).
 	FullAveraging Strategy = iota
-	// RingGossip is decentralized averaging on a ring: each worker mixes
-	// with its two neighbors, x_i <- (x_{i-1} + x_i + x_{i+1}) / 3 (at
-	// m = 2 the single neighbor appears once: x_i <- (x_i + x_other) / 2).
-	// No global model exists; evaluation uses the replica mean — or, under
-	// compression, the mean of the wire-reconstructed CHOCO estimates —
-	// matching the "averaged model" convention of decentralized-SGD
-	// analyses.
+	// RingGossip is decentralized gossip averaging: each worker mixes with
+	// its neighbors on the active mixing graph, x_i <- sum_j W_ij x_j. The
+	// default graph is the ring — x_i <- (x_{i-1} + x_i + x_{i+1}) / 3, and
+	// at m = 2 the single neighbor appears once: x_i <- (x_i + x_other) / 2
+	// — and Config.Topology swaps in any graph spec (torus, expander,
+	// random-regular, time-varying sequences). No global model exists;
+	// evaluation uses the replica mean — or, under compression, the mean of
+	// the wire-reconstructed CHOCO estimates — matching the "averaged
+	// model" convention of decentralized-SGD analyses.
 	RingGossip
 	// ElasticAveraging keeps a center variable z: at each sync, workers
 	// are pulled toward z with strength alpha and z moves toward the
@@ -87,19 +91,21 @@ type gossipReplica interface {
 	Params() []float64
 }
 
-// gossipState is the engine-owned CHOCO-SGD bookkeeping for compressed ring
-// gossip. hat[j] is the estimate x̂_j: conceptually node j and both of its
-// ring neighbors hold a copy each, but since every holder applies the
+// gossipState is the engine-owned CHOCO-SGD bookkeeping for compressed
+// gossip. hat[j] is the estimate x̂_j: conceptually node j and each of its
+// graph neighbors hold a copy each, but since every holder applies the
 // identical wire update q_j to the identical previous value, the copies can
 // never diverge and the engine stores one canonical vector per node (the
-// invariant test exercises exactly this wire-only derivability).
+// invariant test exercises exactly this wire-only derivability). Neighbor
+// sets come from the engine's active mixing graph, not from this state, so
+// time-varying sequences need no estimate reshuffling: every node's estimate
+// exists every round, and an inactive edge simply goes unread.
 type gossipState struct {
 	gamma    float64     // consensus step size (Config.GossipGamma)
 	lossless bool        // dense/lossless compressor: estimates pin exactly
 	hat      [][]float64 // hat[j] = x̂_j, updated only from wire messages
 	hatBack  []float64   // backing array for hat
 	rec      []float64   // decode scratch for the message in flight
-	peers    [][]int     // peers[i] = ring neighbors of node i
 	proj     [][]float64 // projected post-mix estimates (evaluation model)
 	projBack []float64   // backing array for proj
 	nodes    []gossipReplica
@@ -116,7 +122,6 @@ func newGossipState(m int, init []float64, gamma float64, lossless bool) *gossip
 		hat:      make([][]float64, m),
 		hatBack:  make([]float64, m*dim),
 		rec:      make([]float64, dim),
-		peers:    make([][]int, m),
 		proj:     make([][]float64, m),
 		projBack: make([]float64, m*dim),
 		nodes:    make([]gossipReplica, m),
@@ -126,72 +131,104 @@ func newGossipState(m int, init []float64, gamma float64, lossless bool) *gossip
 		copy(g.hat[j], init)
 		g.proj[j] = g.projBack[j*dim : (j+1)*dim]
 		copy(g.proj[j], init)
-		switch m {
-		case 1:
-			g.peers[j] = nil
-		case 2:
-			g.peers[j] = []int{1 - j}
-		default:
-			g.peers[j] = []int{(j - 1 + m) % m, (j + 1) % m}
-		}
 	}
 	return g
 }
 
-// averageRing mixes each replica with its ring neighbors. Mixing is
-// computed from a frozen snapshot (engine-owned scratch, reused every sync)
-// so worker order cannot matter, then e.global is refreshed with the
-// replica mean (for evaluation and AdaComm's loss probe).
+// nextGossipGraph returns the mixing graph for the synchronization being
+// executed, publishes its adjacency for the round's per-edge delay pricing
+// (roundTime runs after the mix, so the priced adjacency always matches the
+// sync just performed), and advances the sync counter that drives
+// time-varying sequences. The returned index selects the per-graph adaptive
+// gamma. It consumes no randomness, so graph topologies leave the engine's
+// RNG streams untouched.
+func (e *Engine) nextGossipGraph() (*graph.Graph, int) {
+	idx := e.gseq.Index(e.syncs)
+	g := e.gseq.Graph(idx)
+	e.activeAdj = g.Adjacency()
+	e.syncs++
+	return g, idx
+}
+
+// mixRowInto accumulates row i of the graph's mixing matrix over the given
+// node vectors into dst: dst = sum_k W[i][order[k]] * vecs[order[k]]. A
+// uniform row is summed in MixOrder then divided ONCE by the count — on the
+// ring exactly ((prev + self) + next) / 3, the legacy arithmetic the
+// bit-identity goldens pin. Weighted rows accumulate w_k * x_k terms in the
+// same fixed order.
+func mixRowInto(dst []float64, g *graph.Graph, i int, vecs [][]float64) {
+	order := g.MixOrder(i)
+	first := vecs[order[0]]
+	if ws := g.MixWeights(i); ws == nil {
+		copy(dst, first)
+		for _, o := range order[1:] {
+			src := vecs[o]
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+		inv := float64(len(order))
+		for j := range dst {
+			dst[j] /= inv
+		}
+	} else {
+		w0 := ws[0]
+		for j := range dst {
+			dst[j] = w0 * first[j]
+		}
+		for k := 1; k < len(order); k++ {
+			wk := ws[k]
+			src := vecs[order[k]]
+			for j := range dst {
+				dst[j] += wk * src[j]
+			}
+		}
+	}
+}
+
+// averageRing mixes each replica with its neighbors on the active mixing
+// graph (the legacy ring when Config.Topology names no graph — the default
+// Ring graph's rows reproduce the historic (prev+self+next)/3 arithmetic bit
+// for bit). Mixing is computed from a frozen snapshot (engine-owned scratch,
+// reused every sync) so worker order cannot matter, then e.global is
+// refreshed with the replica mean (for evaluation and AdaComm's loss probe).
 func (e *Engine) averageRing() {
 	if e.comps != nil {
 		e.averageRingChoco()
 		return
 	}
+	g, _ := e.nextGossipGraph()
 	for i, w := range e.workers {
 		copy(e.ringSnap[i], w.model.Params())
 	}
 	for i, w := range e.workers {
-		self := e.ringSnap[i]
-		dst := w.model.Params()
-		switch {
-		case e.m == 2:
-			// A two-node ring has ONE neighbor; counting it once keeps
-			// the mixing matrix doubly stochastic instead of the
-			// double-counted (2*other + self)/3 a naive prev==next
-			// indexing would produce.
-			other := e.ringSnap[1-i]
-			for j := range dst {
-				dst[j] = (self[j] + other[j]) / 2
-			}
-		case e.m >= 3:
-			prev := e.ringSnap[(i-1+e.m)%e.m]
-			next := e.ringSnap[(i+1)%e.m]
-			for j := range dst {
-				dst[j] = (prev[j] + self[j] + next[j]) / 3
-			}
-			// m == 1: a one-node ring has nothing to mix with; the mix is
-			// the identity, not the rounding-perturbed (x+x+x)/3.
+		if g.Degree(i) > 0 {
+			mixRowInto(w.model.Params(), g, i, e.ringSnap)
 		}
+		// Degree 0 (m == 1): nothing to mix with; the mix is the
+		// identity, not the rounding-perturbed (x+x+x)/3.
 		e.resetWorkerMomentum(w)
 	}
 	e.lastReport = e.denseRep
 	e.refreshGlobalFromReplicaMean()
 }
 
-// averageRingChoco is CHOCO-SGD's compressed gossip round. Phase 1: every
-// node compresses its delta from its OWN estimate, q_i = C(x_i - x̂_i), and
-// multicasts it to its ring neighbors; every holder of x̂_i — the node and
-// its neighbors alike — applies the identical wire update x̂_i += q̂_i, so
-// the engine's canonical copy stands in for all of them. Phase 2: each node
-// mixes toward its neighborhood's estimate average,
+// averageRingChoco is CHOCO-SGD's compressed gossip round on the active
+// mixing graph. Phase 1: every node compresses its delta from its OWN
+// estimate, q_i = C(x_i - x̂_i), and multicasts it to its graph neighbors;
+// every holder of x̂_i — the node and its neighbors alike — applies the
+// identical wire update x̂_i += q̂_i, so the engine's canonical copy stands
+// in for all of them. Phase 2: each node mixes toward its neighborhood's
+// weighted estimate average,
 //
-//	x_i <- x_i + gamma * ((x̂_prev + x̂_i + x̂_next)/3 - x̂_i),
+//	x_i <- x_i + gamma * (sum_j W_ij x̂_j - x̂_i),
 //
 // computed as gamma*mix + (x_i - gamma*x̂_i) so that a lossless compressor
-// (x̂_i == x_i exactly, see below) at gamma = 1 reproduces the raw ring
-// arithmetic bit for bit. Finally the evaluation model is refreshed as the
-// mean of the projected post-mix ESTIMATES — every quantity in the round,
-// including the one evaluation observes, is derivable from the wire.
+// (x̂_i == x_i exactly, see below) at gamma = 1 reproduces the raw gossip
+// arithmetic bit for bit (on the default ring, the historic
+// (x̂_prev + x̂_i + x̂_next)/3). Finally the evaluation model is refreshed as
+// the mean of the projected post-mix ESTIMATES — every quantity in the
+// round, including the one evaluation observes, is derivable from the wire.
 //
 // Lossless (dense-encoding) compressors get a protocol refinement: since
 // C(x_i - x̂_i) costs exactly the 8*dim wire bytes of the parameters
@@ -202,6 +239,7 @@ func (e *Engine) averageRing() {
 // at m = 3 the ring mix is the global mean, so this is also the compressed
 // "ring == full averaging" anchor).
 func (e *Engine) averageRingChoco() {
+	gr, idx := e.nextGossipGraph()
 	g := e.gossip
 	maxBytes := 0
 	for i, node := range g.nodes {
@@ -217,7 +255,7 @@ func (e *Engine) averageRingChoco() {
 				panic(fmt.Sprintf("cluster: worker %d compress: %v", i, err))
 			}
 		}
-		pay, err := e.com.PushMulti(i, g.peers[i], msg, g.rec)
+		pay, err := e.com.PushMulti(i, gr.Neighbors(i), msg, g.rec)
 		if err != nil {
 			panic(fmt.Sprintf("cluster: worker %d push: %v", i, err))
 		}
@@ -232,28 +270,26 @@ func (e *Engine) averageRingChoco() {
 		}
 	}
 	gamma := g.gamma
+	if e.gammas != nil {
+		gamma = e.gammas[idx]
+	}
 	for i, node := range g.nodes {
 		dst := node.Params()
 		hs := g.hat[i]
 		prj := g.proj[i]
-		switch {
-		case e.m == 2:
-			ho := g.hat[1-i]
-			for j := range dst {
-				mix := (hs[j] + ho[j]) / 2
-				dst[j] = gamma*mix + (dst[j] - gamma*hs[j])
-				prj[j] = gamma*mix + (hs[j] - gamma*hs[j])
-			}
-		case e.m >= 3:
-			hp := g.hat[(i-1+e.m)%e.m]
-			hn := g.hat[(i+1)%e.m]
-			for j := range dst {
-				mix := (hp[j] + hs[j] + hn[j]) / 3
-				dst[j] = gamma*mix + (dst[j] - gamma*hs[j])
-				prj[j] = gamma*mix + (hs[j] - gamma*hs[j])
-			}
-		default: // m == 1: a one-node ring has nothing to mix with.
+		if gr.Degree(i) == 0 {
+			// m == 1: nothing to mix with. The mix IS x̂_i, and the
+			// identity must stay exact — gamma*x̂ + (x - gamma*x̂) is not
+			// a bitwise no-op.
 			copy(prj, hs)
+			e.resetWorkerMomentum(e.workers[i])
+			continue
+		}
+		mix := e.mixBuf
+		mixRowInto(mix, gr, i, g.hat)
+		for j := range dst {
+			dst[j] = gamma*mix[j] + (dst[j] - gamma*hs[j])
+			prj[j] = gamma*mix[j] + (hs[j] - gamma*hs[j])
 		}
 		e.resetWorkerMomentum(e.workers[i])
 	}

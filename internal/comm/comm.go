@@ -128,12 +128,19 @@ func (c *Simulated) PushMulti(worker int, peers []int, msg compress.Message, dst
 	if worker < 0 || worker >= c.m {
 		return Payload{}, fmt.Errorf("comm: worker %d out of [0,%d)", worker, c.m)
 	}
-	for _, p := range peers {
+	for ai, p := range peers {
 		if p < 0 || p >= c.m {
 			return Payload{}, fmt.Errorf("comm: peer %d out of [0,%d)", p, c.m)
 		}
 		if p == worker {
 			return Payload{}, fmt.Errorf("comm: worker %d addressed itself", worker)
+		}
+		// Peer lists are neighbor sets — tiny — so the duplicate scan stays
+		// quadratic rather than allocating a set per call.
+		for _, q := range peers[:ai] {
+			if q == p {
+				return Payload{}, fmt.Errorf("comm: worker %d lists peer %d twice", worker, p)
+			}
 		}
 	}
 	if err := compress.Decode(msg, dst); err != nil {

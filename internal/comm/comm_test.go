@@ -2,6 +2,7 @@ package comm
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/compress"
@@ -167,6 +168,12 @@ func TestPushMultiDecodesValidatesAndAccounts(t *testing.T) {
 	if _, err := c.PushMulti(1, []int{1}, msg, dst); err == nil {
 		t.Fatal("accepted self-addressed peer")
 	}
+	if _, err := c.PushMulti(1, []int{0, 2, 0}, msg, dst); err == nil {
+		t.Fatal("accepted duplicate peer")
+	}
+	if _, err := c.PushMulti(1, []int{2, 2}, msg, dst); err == nil {
+		t.Fatal("accepted adjacent duplicate peer")
+	}
 	bad := compress.Message{Dim: 9, Enc: compress.EncDense, Dense: make([]float64, 9)}
 	if _, err := c.PushMulti(1, []int{0}, bad, dst); err == nil {
 		t.Fatal("accepted dim mismatch")
@@ -198,8 +205,58 @@ func TestTopologyParseAndString(t *testing.T) {
 	if _, err := ParseTopology("mesh"); err == nil {
 		t.Fatal("accepted unknown topology")
 	}
-	if Topology(99).String() != "unknown-topology" {
-		t.Fatal("unknown topology name")
+	// The error enumerates the accepted forms — "mesh" must not just fail
+	// opaquely.
+	_, err := ParseTopology("mesh")
+	for _, want := range []string{"allgather", "tree", "torus:RxC", "varying:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not enumerate %q", err, want)
+		}
+	}
+}
+
+func TestTopologyGraphSpecs(t *testing.T) {
+	// Bare "ring"/"star" stay the collectives; the graph reading needs the
+	// forcing prefix. Unambiguous graph names parse directly.
+	for _, s := range []string{"graph:ring", "graph:star", "complete", "expander",
+		"torus:4x4", "regular:4@7", "varying:ring,star@B=5"} {
+		topo, err := ParseTopology(s)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", s, err)
+		}
+		if !topo.IsGraph() {
+			t.Fatalf("ParseTopology(%q) not a graph topology", s)
+		}
+		if topo == AllGather {
+			t.Fatalf("graph topology %q compares equal to AllGather", s)
+		}
+		if topo.String() != s {
+			t.Fatalf("ParseTopology(%q).String() = %q", s, topo.String())
+		}
+		// Graph rounds keep the single-overlapped-hop pricing.
+		if topo.LatencyHops(16) != 1 || topo.BytesFactor(16) != 1 {
+			t.Fatalf("%q hops/bytes not 1", s)
+		}
+	}
+	topo, err := ParseTopology("torus:4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := topo.Graphs(16)
+	if err != nil || seq.N() != 16 {
+		t.Fatalf("torus:4x4 at m=16: %v", err)
+	}
+	if _, err := topo.Graphs(9); err == nil {
+		t.Fatal("torus:4x4 accepted m=9")
+	}
+	if _, err := AllGather.Graphs(4); err == nil {
+		t.Fatal("collective topology instantiated a graph")
+	}
+	// Malformed specs of a recognized graph kind are rejected too.
+	for _, s := range []string{"torus:4", "regular:0", "varying:ring"} {
+		if _, err := ParseTopology(s); err == nil {
+			t.Fatalf("ParseTopology(%q) accepted", s)
+		}
 	}
 }
 

@@ -44,6 +44,7 @@ package delaymodel
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -119,6 +120,16 @@ type Model struct {
 	// is the legacy behavior bit for bit.
 	Links []Link
 
+	// EdgeLinks optionally prices individual directed transfers: an entry
+	// for Edge{From: i, To: j} overrides worker i's per-worker link on that
+	// one transfer (latency replaces the worker link's latency; bandwidth 0
+	// inherits the worker link's, then the shared Bandwidth). Only the
+	// gossip engines consume it — a round over a mixing graph is gated by
+	// its slowest ACTIVE edge (SampleDEdgeScheduleInto), so a slow edge a
+	// sparse graph routes around costs nothing. nil keeps the per-worker
+	// Links path on every topology, bit for bit.
+	EdgeLinks map[Edge]Link
+
 	// Jitter optionally gives every worker a persistent multiplicative
 	// compute-speed factor, drawn once per worker from this distribution
 	// with a stream seeded by JitterSeed (see JitterScales). It breaks the
@@ -174,6 +185,51 @@ func (dm *Model) CheckLinks() error {
 		}
 		if math.IsNaN(l.Bandwidth) || math.IsInf(l.Bandwidth, 0) || l.Bandwidth < 0 {
 			return fmt.Errorf("delaymodel: worker %d link bandwidth %v (want finite >= 0; 0 inherits the shared bandwidth)", i, l.Bandwidth)
+		}
+	}
+	return nil
+}
+
+// Edge identifies one directed transfer From -> To in the per-edge link
+// table. Gossip exchanges are symmetric, so a slow physical cable is two
+// entries (ParseEdgeLinks writes both directions from one "i-j:..." form).
+type Edge struct {
+	From, To int
+}
+
+// CheckEdgeLinks validates the per-edge link table the way CheckLinks
+// validates the per-worker one: node ids must be in range, self-edges are
+// meaningless, and every latency and bandwidth must be finite and
+// non-negative — a NaN or negative entry would silently poison every round
+// that activates the edge. Entries are checked in sorted order so the
+// first error is deterministic.
+func (dm *Model) CheckEdgeLinks() error {
+	if dm.EdgeLinks == nil {
+		return nil
+	}
+	edges := make([]Edge, 0, len(dm.EdgeLinks))
+	for e := range dm.EdgeLinks {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].From != edges[b].From {
+			return edges[a].From < edges[b].From
+		}
+		return edges[a].To < edges[b].To
+	})
+	for _, e := range edges {
+		if e.From < 0 || e.From >= dm.M || e.To < 0 || e.To >= dm.M {
+			return fmt.Errorf("delaymodel: edge (%d,%d) out of [0,%d)", e.From, e.To, dm.M)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("delaymodel: edge (%d,%d) is a self-loop", e.From, e.To)
+		}
+		l := dm.EdgeLinks[e]
+		if math.IsNaN(l.Latency) || math.IsInf(l.Latency, 0) || l.Latency < 0 {
+			return fmt.Errorf("delaymodel: edge (%d,%d) latency %v (want finite >= 0)", e.From, e.To, l.Latency)
+		}
+		if math.IsNaN(l.Bandwidth) || math.IsInf(l.Bandwidth, 0) || l.Bandwidth < 0 {
+			return fmt.Errorf("delaymodel: edge (%d,%d) bandwidth %v (want finite >= 0; 0 inherits the worker link)", e.From, e.To, l.Bandwidth)
 		}
 	}
 	return nil
@@ -297,6 +353,123 @@ func (dm *Model) SampleDScheduleInto(r *rng.Rand, bytesPerWorker []int, latHops,
 		}
 	}
 	return (d + slow) * dm.Scale.Factor(dm.M)
+}
+
+// SampleDEdgeScheduleInto prices one gossip round over a mixing graph,
+// edge by edge: adj[i] lists the peers node i multicasts its
+// bytesPerWorker[i] payload to this round, each directed transfer (i,j) is
+// priced on its own link — the EdgeLinks entry if present, else worker i's
+// per-worker link — and the SLOWEST ACTIVE EDGE gates the round, so an
+// expensive edge that no active graph uses costs nothing. times[i] (when
+// non-nil) receives node i's slowest outgoing transfer, the same
+// controller-visible signal SampleDScheduleInto records.
+//
+// With a nil adjacency or a nil EdgeLinks table the call delegates to
+// SampleDScheduleInto — identical value, identical single D0 draw — so
+// every per-worker-priced trace is preserved bit for bit on every
+// topology.
+func (dm *Model) SampleDEdgeScheduleInto(r *rng.Rand, bytesPerWorker []int, adj [][]int, latHops, bytesFactor float64, times []float64) float64 {
+	if adj == nil || dm.EdgeLinks == nil {
+		return dm.SampleDScheduleInto(r, bytesPerWorker, latHops, bytesFactor, times)
+	}
+	d := dm.D0.Sample(r) * latHops
+	slow := 0.0
+	for i, b := range bytesPerWorker {
+		wt := 0.0
+		for _, j := range adj[i] {
+			l, ok := dm.EdgeLinks[Edge{From: i, To: j}]
+			if !ok && dm.Links != nil {
+				l = dm.Links[i]
+			}
+			bw := l.Bandwidth
+			if bw == 0 && dm.Links != nil {
+				bw = dm.Links[i].Bandwidth
+			}
+			if bw == 0 {
+				bw = dm.Bandwidth
+			}
+			t := l.Latency * latHops
+			if bw > 0 && b > 0 {
+				t += float64(b) * bytesFactor / bw
+			}
+			if t > wt {
+				wt = t
+			}
+		}
+		if times != nil {
+			times[i] = wt
+		}
+		if wt > slow {
+			slow = wt
+		}
+	}
+	return (d + slow) * dm.Scale.Factor(dm.M)
+}
+
+// ParseEdgeLinks parses the per-edge link flag syntax: a comma-separated
+// list of "I-J:latency:bandwidth" entries. Each entry prices the edge in
+// BOTH directions (a slow cable slows traffic both ways); latency and
+// bandwidth follow ParseLinks' conventions — either may be empty for its
+// zero value, an explicit zero bandwidth is rejected (leave it empty to
+// inherit), and non-finite or negative values are rejected. "" returns a
+// nil table (the per-worker pricing path, bit for bit).
+func ParseEdgeLinks(s string, m int) (map[Edge]Link, error) {
+	if s == "" {
+		return nil, nil
+	}
+	table := make(map[Edge]Link)
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		pair, rest, ok := strings.Cut(p, ":")
+		if !ok {
+			return nil, fmt.Errorf("delaymodel: edge link %q needs I-J:latency:bandwidth", p)
+		}
+		is, js, ok := strings.Cut(pair, "-")
+		if !ok {
+			return nil, fmt.Errorf("delaymodel: edge link %q needs an I-J node pair", p)
+		}
+		i, err1 := strconv.Atoi(is)
+		j, err2 := strconv.Atoi(js)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("delaymodel: bad node pair in %q", p)
+		}
+		if i < 0 || i >= m || j < 0 || j >= m {
+			return nil, fmt.Errorf("delaymodel: edge link %q nodes out of [0,%d)", p, m)
+		}
+		if i == j {
+			return nil, fmt.Errorf("delaymodel: edge link %q is a self-loop", p)
+		}
+		if _, dup := table[Edge{From: i, To: j}]; dup {
+			return nil, fmt.Errorf("delaymodel: edge %d-%d listed twice", i, j)
+		}
+		lat, bw, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("delaymodel: edge link %q needs I-J:latency:bandwidth", p)
+		}
+		var l Link
+		if lat != "" {
+			if l.Latency, err1 = strconv.ParseFloat(lat, 64); err1 != nil {
+				return nil, fmt.Errorf("delaymodel: bad latency in %q: %v", p, err1)
+			}
+			if math.IsNaN(l.Latency) || math.IsInf(l.Latency, 0) || l.Latency < 0 {
+				return nil, fmt.Errorf("delaymodel: edge link %q latency %v (want finite >= 0)", p, l.Latency)
+			}
+		}
+		if bw != "" {
+			if l.Bandwidth, err1 = strconv.ParseFloat(bw, 64); err1 != nil {
+				return nil, fmt.Errorf("delaymodel: bad bandwidth in %q: %v", p, err1)
+			}
+			if math.IsNaN(l.Bandwidth) || math.IsInf(l.Bandwidth, 0) || l.Bandwidth < 0 {
+				return nil, fmt.Errorf("delaymodel: edge link %q bandwidth %v (want finite > 0)", p, l.Bandwidth)
+			}
+			if l.Bandwidth == 0 {
+				return nil, fmt.Errorf("delaymodel: edge link %q has explicit zero bandwidth; leave the part empty to inherit", p)
+			}
+		}
+		table[Edge{From: i, To: j}] = l
+		table[Edge{From: j, To: i}] = l
+	}
+	return table, nil
 }
 
 // SampleTransfer draws the wall-clock cost of ONE point-to-point transfer

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/delaymodel"
+	"repro/internal/metrics"
+	"repro/internal/sgd"
+)
+
+// The topology ablation quantifies the graph layer's claim: under per-edge
+// delay pricing, the best mixing topology is neither the sparsest nor the
+// densest. A single slow edge gates every round of a graph that activates it
+// — the ring (it is a ring edge) and the complete graph (it contains every
+// edge, and complete-graph gossip IS full averaging) both pay it every sync
+// — while a sparse graph that routes around the edge (the 4x4 torus, a
+// random-regular draw) pays only its good links AND mixes far faster than
+// the ring (spectral gap O(1/n) vs O(1/n^2)). Time-to-loss therefore orders
+// torus/expander ahead of both endpoints of the density spectrum.
+
+// TopologySpec describes the ablation.
+type TopologySpec struct {
+	Scale Scale
+	Seed  uint64
+
+	Workers int      // node count (16: the torus spec below pins 4x4)
+	Topos   []string // comm.ParseTopology graph specs to race
+	// The slow edge: EdgeFrom-EdgeTo gets EdgeLatency seconds of latency in
+	// BOTH directions on top of the constant D0 = 1 round base. (3,4) is a
+	// ring edge at m = 16 that the 4x4 torus does not contain.
+	EdgeFrom, EdgeTo int
+	EdgeLatency      float64
+
+	// Ratio > 0 adds, per topology, a CHOCO cell at that top-k keep-ratio
+	// with the spectral-gap-adapted consensus step (AdaptGossipGamma).
+	Ratio float64
+
+	Tau        int
+	BatchSize  int
+	LR         float64
+	TimeBudget float64
+}
+
+// TopologyRow is one cell's outcome.
+type TopologyRow struct {
+	Topology     string
+	Method       string // "raw" or "choco"
+	SpectralGap  float64
+	RoundComm    float64 // simulated seconds of one sync under the edge table
+	FinalLoss    float64
+	MinLoss      float64
+	TimeToTarget float64
+}
+
+// TopologyResult bundles the ablation rows with the shared loss target.
+type TopologyResult struct {
+	Spec   TopologySpec
+	Target float64
+	Rows   []TopologyRow
+}
+
+// DefaultTopologyGrid is the shipped ablation: 16 nodes, one 10x-latency
+// edge, the ring and the complete graph (the two density endpoints, both
+// containing the slow edge) against the torus and a random-regular draw
+// (both routing around it).
+func DefaultTopologyGrid(scale Scale) TopologySpec {
+	budget := 1500.0
+	if scale == ScaleQuick {
+		budget = 500
+	}
+	return TopologySpec{
+		Scale:       scale,
+		Seed:        160,
+		Workers:     16,
+		Topos:       []string{"graph:ring", "torus:4x4", "regular:4@11", "complete"},
+		EdgeFrom:    3,
+		EdgeTo:      4,
+		EdgeLatency: 10,
+		Ratio:       0.25,
+		Tau:         5,
+		BatchSize:   4,
+		LR:          0.1,
+		TimeBudget:  budget,
+	}
+}
+
+// RunTopologyGrid races the topologies under the per-edge delay table. Cells
+// are independent engines, so the grid fans out across the experiment pool;
+// rows are written by index and the result is identical at any pool width.
+func RunTopologyGrid(spec TopologySpec) TopologyResult {
+	type cellSpec struct {
+		topoStr string
+		topo    comm.Topology
+		method  string
+		cs      compress.Spec
+		adapt   bool
+	}
+	var cells []cellSpec
+	for _, s := range spec.Topos {
+		topo, err := comm.ParseTopology(s)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: topology grid: %v", err))
+		}
+		cells = append(cells, cellSpec{topoStr: s, topo: topo, method: "raw"})
+		if spec.Ratio > 0 {
+			cells = append(cells, cellSpec{
+				topoStr: s, topo: topo, method: "choco",
+				cs:    compress.Spec{Kind: compress.KindTopK, Ratio: spec.Ratio},
+				adapt: true,
+			})
+		}
+	}
+	rows := make([]TopologyRow, len(cells))
+	traces := make([]*metrics.Trace, len(cells))
+	forEach(len(cells), func(i int) {
+		c := cells[i]
+		w := BuildWorkload(ArchLogistic, 4, spec.Workers, spec.Scale, spec.Seed)
+		w.Delay.EdgeLinks = map[delaymodel.Edge]delaymodel.Link{
+			{From: spec.EdgeFrom, To: spec.EdgeTo}: {Latency: spec.EdgeLatency},
+			{From: spec.EdgeTo, To: spec.EdgeFrom}: {Latency: spec.EdgeLatency},
+		}
+		cfg := cluster.Config{
+			BatchSize:        spec.BatchSize,
+			MaxTime:          spec.TimeBudget,
+			EvalEvery:        50,
+			EvalSubset:       256,
+			Strategy:         cluster.RingGossip,
+			Topology:         c.topo,
+			Compress:         c.cs,
+			AdaptGossipGamma: c.adapt,
+			Seed:             spec.Seed + 1,
+		}
+		e := w.Engine(cfg)
+		name := fmt.Sprintf("%s/%s", c.topoStr, c.method)
+		tr := e.Run(cluster.FixedTau{Tau: spec.Tau, Schedule: sgd.Const{Eta: spec.LR}}, name)
+		seq, err := c.topo.Graphs(spec.Workers)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: topology grid: %v", err))
+		}
+		g := seq.Graph(0)
+		// One sync's communication charge: D0 = 1 plus the slow edge's
+		// latency iff the graph activates it.
+		roundComm := 1.0
+		for _, nb := range g.Neighbors(spec.EdgeFrom) {
+			if nb == spec.EdgeTo {
+				roundComm += spec.EdgeLatency
+				break
+			}
+		}
+		rows[i] = TopologyRow{
+			Topology:    c.topoStr,
+			Method:      c.method,
+			SpectralGap: g.SpectralGap(),
+			RoundComm:   roundComm,
+			FinalLoss:   tr.FinalLoss(),
+			MinLoss:     tr.MinLoss(),
+		}
+		traces[i] = tr
+	})
+	// Shared target: the loosest minimum loss across cells, relaxed 1%, so
+	// every cell reaches it and time-to-target is always defined.
+	worst := 0.0
+	for _, r := range rows {
+		if r.MinLoss > worst {
+			worst = r.MinLoss
+		}
+	}
+	target := worst * 1.01
+	for i := range rows {
+		rows[i].TimeToTarget = traces[i].TimeToLoss(target)
+	}
+	return TopologyResult{Spec: spec, Target: target, Rows: rows}
+}
+
+// PrintTopologyGrid renders the ablation as a table.
+func PrintTopologyGrid(w io.Writer, res TopologyResult) {
+	fmt.Fprintf(w, "== Mixing topology under a %gx slow edge (%d-%d), m=%d (time to loss %.5f) ==\n",
+		res.Spec.EdgeLatency, res.Spec.EdgeFrom, res.Spec.EdgeTo, res.Spec.Workers, res.Target)
+	fmt.Fprintf(w, "%-16s %-6s %9s %10s %12s %12s %11s\n",
+		"topology", "method", "gap", "comm/sync", "final loss", "min loss", "t(target)")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-16s %-6s %9.4f %10.1f %12.5f %12.5f %11.1f\n",
+			r.Topology, r.Method, r.SpectralGap, r.RoundComm, r.FinalLoss, r.MinLoss, r.TimeToTarget)
+	}
+}

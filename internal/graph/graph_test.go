@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// checkContract asserts the mixing-matrix contract on a constructed graph:
+// symmetry, double stochasticity, positive self-weights, connectivity.
+func checkContract(t *testing.T, g *Graph) {
+	t.Helper()
+	n := g.N()
+	if !g.Connected() {
+		t.Fatalf("%s: not connected", g)
+	}
+	colSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for _, j := range g.MixOrder(i) {
+			w := g.Weight(i, j)
+			if w <= 0 {
+				t.Fatalf("%s: W[%d][%d] = %v (want > 0 on the neighborhood)", g, i, j, w)
+			}
+			rowSum += w
+			colSum[j] += w
+		}
+		if math.Abs(rowSum-1) > 1e-12 {
+			t.Fatalf("%s: row %d sums to %v", g, i, rowSum)
+		}
+		if g.Weight(i, i) <= 0 {
+			t.Fatalf("%s: self-weight W[%d][%d] = %v", g, i, i, g.Weight(i, i))
+		}
+		for _, j := range g.Neighbors(i) {
+			if wij, wji := g.Weight(i, j), g.Weight(j, i); math.Abs(wij-wji) > 1e-15 {
+				t.Fatalf("%s: W[%d][%d]=%v != W[%d][%d]=%v", g, i, j, wij, j, i, wji)
+			}
+		}
+	}
+	for j, s := range colSum {
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("%s: column %d sums to %v", g, j, s)
+		}
+	}
+}
+
+func TestConstructorsSatisfyMixingContract(t *testing.T) {
+	graphs := []*Graph{
+		Ring(1), Ring(2), Ring(3), Ring(5), Ring(16),
+		Complete(2), Complete(5), Complete(16),
+		Star(2), Star(5), Star(16),
+		Torus(1, 5), Torus(2, 2), Torus(2, 4), Torus(4, 4), Torus(3, 5),
+		Expander(5), Expander(16), Expander(64),
+	}
+	rr, err := RandomRegular(16, 4, 11)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	graphs = append(graphs, rr)
+	for _, g := range graphs {
+		checkContract(t, g)
+	}
+}
+
+func TestRingMatchesLegacyMixShape(t *testing.T) {
+	g := Ring(5)
+	for i := 0; i < 5; i++ {
+		prev, next := (i-1+5)%5, (i+1)%5
+		order := g.MixOrder(i)
+		if len(order) != 3 || order[0] != prev || order[1] != i || order[2] != next {
+			t.Fatalf("ring row %d order %v, want [%d %d %d]", i, order, prev, i, next)
+		}
+		if g.MixWeights(i) != nil {
+			t.Fatalf("ring row %d not uniform", i)
+		}
+		if nb := g.Neighbors(i); len(nb) != 2 || nb[0] != prev || nb[1] != next {
+			t.Fatalf("ring row %d neighbors %v", i, nb)
+		}
+	}
+	g2 := Ring(2)
+	if order := g2.MixOrder(0); len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("two-node ring row 0 order %v, want [0 1]", order)
+	}
+	if order := Ring(1).MixOrder(0); len(order) != 1 || order[0] != 0 {
+		t.Fatalf("one-node ring row 0 order %v, want [0]", order)
+	}
+}
+
+func TestStarWeightsAreMetropolis(t *testing.T) {
+	n := 8
+	g := Star(n)
+	// Hub row is uniform 1/n; leaf rows keep self-weight 1 - 1/n.
+	if g.MixWeights(0) != nil {
+		t.Fatalf("hub row should be uniform")
+	}
+	if w := g.Weight(0, 3); math.Abs(w-1.0/float64(n)) > 1e-15 {
+		t.Fatalf("hub edge weight %v, want 1/%d", w, n)
+	}
+	if w := g.Weight(3, 3); math.Abs(w-(1-1.0/float64(n))) > 1e-15 {
+		t.Fatalf("leaf self-weight %v, want 1-1/%d", w, n)
+	}
+	if g.MixWeights(3) == nil {
+		t.Fatalf("leaf row should be weighted (non-uniform)")
+	}
+}
+
+func TestSpectralGapKnownValues(t *testing.T) {
+	// Complete graph: W = ones/n, lambda_2 = 0, gap = 1.
+	if gap := Complete(8).SpectralGap(); math.Abs(gap-1) > 1e-6 {
+		t.Fatalf("complete gap %v, want 1", gap)
+	}
+	// Ring eigenvalues are (1 + 2cos(2 pi k / n))/3; the second-largest
+	// modulus is at k = 1.
+	for _, n := range []int{4, 8, 16} {
+		want := 1 - (1+2*math.Cos(2*math.Pi/float64(n)))/3
+		if gap := Ring(n).SpectralGap(); math.Abs(gap-want) > 1e-6 {
+			t.Fatalf("ring(%d) gap %v, want %v", n, gap, want)
+		}
+	}
+	// Torus 4x4: W = (I + A)/5 with A the C4 x C4 adjacency; eigenvalues
+	// (1 + 2cos(pi a/2) + 2cos(pi b/2))/5, second-largest modulus 3/5.
+	if gap := Torus(4, 4).SpectralGap(); math.Abs(gap-0.4) > 1e-6 {
+		t.Fatalf("torus 4x4 gap %v, want 0.4", gap)
+	}
+	// Ordering sanity: denser/better-connected graphs mix faster.
+	ring, torus, exp := Ring(16).SpectralGap(), Torus(4, 4).SpectralGap(), Expander(16).SpectralGap()
+	if !(torus > ring) || !(exp > ring) {
+		t.Fatalf("gap ordering ring=%v torus=%v expander=%v (want torus,expander > ring)", ring, torus, exp)
+	}
+	// Star: consensus bottlenecked by the hub, gap well below the torus.
+	if star := Star(16).SpectralGap(); !(star < torus) {
+		t.Fatalf("star gap %v not below torus %v", star, torus)
+	}
+}
+
+func TestRandomRegularSeeded(t *testing.T) {
+	a, err := RandomRegular(16, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegular(16, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if len(a.Neighbors(i)) != 4 {
+			t.Fatalf("node %d degree %d, want 4", i, len(a.Neighbors(i)))
+		}
+		an, bn := a.Neighbors(i), b.Neighbors(i)
+		for k := range an {
+			if an[k] != bn[k] {
+				t.Fatalf("seed 7 not reproducible at node %d: %v vs %v", i, an, bn)
+			}
+		}
+	}
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Fatal("odd n*d accepted")
+	}
+	if _, err := RandomRegular(4, 4, 1); err == nil {
+		t.Fatal("degree >= n accepted")
+	}
+}
+
+func TestParseSpecGrammar(t *testing.T) {
+	good := []string{"ring", "star", "complete", "expander", "torus:4x4",
+		"regular:4", "regular:4@7", "varying:ring,star", "varying:ring,torus:4x4@B=5",
+		"varying:ring,regular:4@7@B=2"}
+	for _, s := range good {
+		sp, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if sp.String() != s {
+			t.Fatalf("ParseSpec(%q).String() = %q", s, sp.String())
+		}
+	}
+	bad := []string{"", "mesh", "torus:4", "torus:0x4", "torus:axb", "regular:0",
+		"regular:4@x", "varying:ring", "varying:ring,varying:star,ring",
+		"varying:ring,star@B=0", "varying:ring,mesh"}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+func TestSpecBuild(t *testing.T) {
+	seq, err := mustParse(t, "torus:4x4").Build(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Varying() || seq.N() != 16 || seq.Graph(0).MaxDegree() != 4 {
+		t.Fatalf("torus build: varying=%v n=%d deg=%d", seq.Varying(), seq.N(), seq.Graph(0).MaxDegree())
+	}
+	if _, err := mustParse(t, "torus:4x4").Build(8); err == nil {
+		t.Fatal("torus:4x4 accepted m=8")
+	}
+	vs, err := mustParse(t, "varying:ring,star@B=3").Build(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vs.Varying() || vs.Len() != 2 {
+		t.Fatalf("varying build: varying=%v len=%d", vs.Varying(), vs.Len())
+	}
+	// B=3 hold: syncs 0-2 on the ring, 3-5 on the star, then cycling.
+	for sync, want := range []string{"ring", "ring", "ring", "star", "star", "star", "ring"} {
+		if got := vs.At(sync).Name(); got != want {
+			t.Fatalf("At(%d) = %s, want %s", sync, got, want)
+		}
+	}
+}
+
+func mustParse(t *testing.T, s string) *Spec {
+	t.Helper()
+	sp, err := ParseSpec(s)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", s, err)
+	}
+	return sp
+}
+
+func TestAdaptiveGamma(t *testing.T) {
+	if g := AdaptiveGamma(1); g != 1 {
+		t.Fatalf("gamma(1) = %v", g)
+	}
+	if g := AdaptiveGamma(0.25); math.Abs(g-0.5) > 1e-15 {
+		t.Fatalf("gamma(0.25) = %v, want 0.5", g)
+	}
+	if g := AdaptiveGamma(0); g != 0.05 {
+		t.Fatalf("gamma(0) = %v, want floor 0.05", g)
+	}
+	if g := AdaptiveGamma(math.NaN()); g != 0.05 {
+		t.Fatalf("gamma(NaN) = %v, want floor 0.05", g)
+	}
+}
+
+func TestSequenceValidation(t *testing.T) {
+	if _, err := NewSequence(1); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	if _, err := NewSequence(0, Ring(4)); err == nil {
+		t.Fatal("hold 0 accepted")
+	}
+	if _, err := NewSequence(1, Ring(4), Ring(5)); err == nil {
+		t.Fatal("mixed node counts accepted")
+	}
+	if seq, err := NewSequence(2, Ring(6), Star(6)); err != nil || seq.N() != 6 {
+		t.Fatalf("valid sequence rejected: %v", err)
+	}
+}
