@@ -19,6 +19,8 @@
 //	adacomm -arch logistic -method fixed -tau 5 -strategy ring -workers 16 -topology torus:4x4 -edge-links "3-4:10:"
 //	adacomm -arch logistic -method fixed -async -clients 1024 -participation 32 -tau 4
 //	adacomm -arch logistic -method fixed -async -participation 6 -workers 8 -link-aware
+//	adacomm -arch logistic -method adacomm -faults "blip:1@r10-20,crash:2@r40,drop:0.05"
+//	adacomm -arch logistic -method fixed -async -participation 6 -workers 8 -faults "slow:3x4@r10-30"
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/delaymodel"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sgd"
 	"repro/internal/tensor"
@@ -88,6 +91,8 @@ func main() {
 		"with -async: aggregate the first K arrivals per update (0 = all clients, the barrier special case)")
 	clients := flag.Int("clients", 0,
 		"with -async: simulated client population N; memory stays proportional to -participation (0 = -workers)")
+	faultsFlag := flag.String("faults", "",
+		"fault injection schedule, comma-separated events ("+faults.Forms+"); empty = fault-free")
 	flag.Parse()
 
 	spec, err := compress.ParseSpec(*compressFlag)
@@ -113,6 +118,11 @@ func main() {
 		os.Exit(2)
 	}
 	tensor.SetWorkers(*kernelWorkers)
+	fsched, err := faults.Parse(*faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
+		os.Exit(2)
+	}
 	if *bandwidth < 0 {
 		fmt.Fprintf(os.Stderr, "adacomm: -bandwidth %g must be >= 0 (0 = infinite)\n", *bandwidth)
 		os.Exit(2)
@@ -175,6 +185,7 @@ func main() {
 				participation: *participation, tau: *tau, batch: *batch, lr: *lr,
 				budget: *budget, seed: *seed, quick: *quick, spec: spec,
 				bandwidth: *bandwidth, links: *linksFlag, linkAware: *linkAware,
+				faults: fsched,
 			})
 			return
 		}
@@ -232,6 +243,7 @@ func main() {
 		Compress:         spec,
 		Topology:         topology,
 		Seed:             *seed + 1,
+		Faults:           fsched,
 	}
 	// Construct directly (not via experiments.Workload.Engine, which
 	// panics): invalid flag combinations — a gossip gamma without a ring,
@@ -302,6 +314,7 @@ type asyncOpts struct {
 	bandwidth     float64
 	links         string
 	linkAware     bool
+	faults        *faults.Schedule
 }
 
 // runAsync builds and runs the event-driven engine: -clients shards
@@ -342,6 +355,7 @@ func runAsync(o asyncOpts) {
 		Compress:      o.spec,
 		LinkAware:     o.linkAware,
 		Seed:          o.seed + 1,
+		Faults:        o.faults,
 	}
 	engine, err := cluster.NewAsync(w.Proto, w.Shards, w.Train, w.Test, w.Delay, cfg)
 	if err != nil {

@@ -15,6 +15,8 @@
 //	figures -wire float32   # float32-vs-float64 wire ablation
 //	figures -gossip -wire float32  # gossip grid with narrowed compressed cells
 //	figures -topology       # mixing-topology ablation under a slow edge
+//	figures -churn          # fault-injection ablation (crash/recover/drop churn)
+//	figures -churn -faults "blip:0@r8-20,drop:0.1"  # ... with a custom schedule
 //
 // Each figure's methods are independent training runs, so they execute
 // concurrently on the experiment pool (default width GOMAXPROCS); the
@@ -39,6 +41,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
@@ -60,6 +63,10 @@ func main() {
 		"run the mixing-topology ablation (ring/torus/random-regular/complete under a slow edge) instead of the paper figures")
 	async := flag.Bool("async", false,
 		"run the async-vs-sync ablation (event-driven K-of-m vs round-barrier engines under a 10x straggler) instead of the paper figures")
+	churn := flag.Bool("churn", false,
+		"run the churn ablation (every strategy fault-free and under crash-recover churn plus drops) instead of the paper figures")
+	faultsFlag := flag.String("faults", "",
+		"with -churn: override the fault schedule, comma-separated events ("+faults.Forms+")")
 	wireFlag := flag.String("wire", "",
 		"with -gossip: wire precision (float64 | float32) of the compressed cells; alone, -wire float32 runs the float32-vs-float64 wire ablation")
 	kernelWorkers := flag.Int("kernel-workers", 1,
@@ -95,14 +102,40 @@ func main() {
 	}
 	out := os.Stdout
 	modes := 0
-	for _, on := range []bool{*gossip, *async, *topology} {
+	for _, on := range []bool{*gossip, *async, *topology, *churn} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "figures: -gossip, -async, and -topology are separate ablations; pick one")
+		fmt.Fprintln(os.Stderr, "figures: -gossip, -async, -topology, and -churn are separate ablations; pick one")
 		os.Exit(2)
+	}
+	if *faultsFlag != "" && !*churn {
+		fmt.Fprintln(os.Stderr, "figures: -faults overrides the churn schedule; it requires -churn")
+		os.Exit(2)
+	}
+	if *churn {
+		if *fig != 0 || *table != 0 || *bytes != 0 || *csvDir != "" || *wireFlag != "" {
+			fmt.Fprintln(os.Stderr, "figures: -churn runs only the churn ablation; it cannot combine with -fig/-table/-bytes/-csv/-wire")
+			os.Exit(2)
+		}
+		spec := experiments.DefaultChurnSpec(scale)
+		if *faultsFlag != "" {
+			spec.Faults = *faultsFlag
+		}
+		sched, err := faults.Parse(spec.Faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(2)
+		}
+		if err := sched.Validate(spec.Workers); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(2)
+		}
+		target, rows := experiments.ChurnAblation(spec)
+		experiments.PrintLinkAware(out, "strategies under crash-recover churn", target, rows)
+		return
 	}
 	if *topology {
 		if *fig != 0 || *table != 0 || *bytes != 0 || *csvDir != "" || *wireFlag != "" {

@@ -15,6 +15,8 @@
 //	sweep -ablation async    # event-driven K-of-m vs round-barrier engines
 //	sweep -ablation wire     # float32 vs float64 wire at fixed tau
 //	sweep -ablation topology # mixing graphs under a per-edge straggler
+//	sweep -ablation churn    # every strategy under crash-recover churn + drops
+//	sweep -ablation churn -faults "blip:0@r8-20,drop:0.1"  # ... custom schedule
 //	sweep -ablation all
 //
 // Grid cells are independent configurations and run concurrently on the
@@ -29,11 +31,12 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/tensor"
 )
 
 func main() {
-	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | async | wire | topology | all")
+	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | async | wire | topology | churn | all")
 	quick := flag.Bool("quick", false, "use reduced sizes")
 	workers := flag.Int("workers", 0,
 		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
@@ -41,6 +44,8 @@ func main() {
 		"wire precision (float64 | float32) of the gossip grid's compressed cells; only meaningful with -ablation gossip or all")
 	kernelWorkers := flag.Int("kernel-workers", 1,
 		"goroutines the tensor kernels may fan output-row panels across (bit-identical results at any setting; >1 oversubscribes when the experiment pool is already saturated)")
+	faultsFlag := flag.String("faults", "",
+		"override the churn ablation's fault schedule, comma-separated events ("+faults.Forms+"); only meaningful with -ablation churn or all")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -53,6 +58,16 @@ func main() {
 	}
 	if *wireFlag != "" && *which != "gossip" && *which != "all" {
 		fmt.Fprintf(os.Stderr, "sweep: -wire only modifies the gossip grid; -ablation %s ignores it (use -ablation gossip or all)\n", *which)
+		os.Exit(2)
+	}
+	if *faultsFlag != "" && *which != "churn" && *which != "all" {
+		fmt.Fprintf(os.Stderr, "sweep: -faults only modifies the churn ablation; -ablation %s ignores it (use -ablation churn or all)\n", *which)
+		os.Exit(2)
+	}
+	// Reject a malformed schedule before any grid runs, not after -ablation
+	// all has burned through the earlier tables.
+	if _, err := faults.Parse(*faultsFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(2)
 	}
 	if *kernelWorkers < 1 {
@@ -113,6 +128,24 @@ func main() {
 	}
 	if all || *which == "topology" {
 		experiments.PrintTopologyGrid(out, experiments.RunTopologyGrid(experiments.DefaultTopologyGrid(scale)))
+		fmt.Fprintln(out)
+	}
+	if all || *which == "churn" {
+		spec := experiments.DefaultChurnSpec(scale)
+		if *faultsFlag != "" {
+			spec.Faults = *faultsFlag
+		}
+		sched, err := faults.Parse(spec.Faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(2)
+		}
+		if err := sched.Validate(spec.Workers); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(2)
+		}
+		target, rows := experiments.ChurnAblation(spec)
+		experiments.PrintLinkAware(out, "strategies under crash-recover churn", target, rows)
 		fmt.Fprintln(out)
 	}
 }

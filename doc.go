@@ -146,6 +146,30 @@
 // float64; the wire ablation (cmd/figures -wire float32) quantifies the
 // loss-vs-runtime payoff on a bandwidth-constrained link.
 //
+// Robustness is a first-class axis: internal/faults defines a seeded,
+// declarative fault schedule (faults.Parse — "crash:W@rR", "blip:W@rR1-R2",
+// "slow:WxF@rR1-R2", "drop:P") injecting permanent crashes, crash-recover
+// blips, slow-down episodes, and retried message drops into EVERY engine:
+// the lock-step cluster (serial and pooled backends), the event-driven
+// engine, and the parameter server (-faults on cmd/adacomm, cmd/figures,
+// cmd/sweep). Membership is dynamic end to end — comm.Communicator carries
+// the active-set view (SetActive/ActiveCount; inactive endpoints are
+// rejected, inactive contributions skipped), full and elastic averaging
+// renormalize over survivors, gossip mixes over the induced active subgraph
+// (graph.Subgraph re-derives Metropolis weights and the spectral gap on the
+// active block, so AdaptGossipGamma re-adapts; a disconnected survivor set
+// damps gamma to its floor), and the async engine expires in-flight work
+// from crashed clients. A rejoining worker reconciles by pulling a priced
+// dense delta and snapping exactly to the shared state (CHOCO estimates
+// re-pin so its next wire message is a delta from common ground); in the
+// event-driven and parameter-server modes the dispatch-time pull IS the
+// reconcile. The schedule is a pure function of (spec, seed, round) and
+// consumes no RNG from the delay/jitter streams, so every zero-fault config
+// stays bit-identical to its golden; the churn ablation (cmd/figures
+// -churn, cmd/sweep -ablation churn) pins that under 20% mid-run
+// crash-recover churn plus drops every strategy completes without deadlock
+// and degrades gracefully on time-to-loss.
+//
 // Perf numbers are recorded per PR as BENCH_<n>.json via cmd/bench, and
 // CI gates on them: `go run ./cmd/bench -check BENCH_<n>.json` fails on
 // wall-clock regressions beyond a tolerance, on any allocs/op increase,

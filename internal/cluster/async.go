@@ -58,6 +58,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/delaymodel"
 	"repro/internal/events"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/paramserver"
@@ -133,6 +134,20 @@ type AsyncConfig struct {
 	// grows with every event.
 	RecordEvents bool
 
+	// Faults optionally injects a seeded crash/churn/slow-down schedule
+	// (internal/faults), keyed by the GLOBAL VERSION — the async engine's
+	// notion of a round. Down clients are parked instead of dispatched, and
+	// an in-flight message whose sender is down when it arrives is expired
+	// (the same drop-and-redispatch path MaxStaleness uses), so crashed
+	// work can never fold into an aggregate. Slow-down episodes and
+	// drop-retries multiply the affected client's transfer times. A client
+	// recovering from a blip needs no separate reconciliation: every
+	// dispatch already begins with a priced dense pull of the current
+	// global model, which IS the rejoin delta. When every client is down
+	// the event queue drains and Run returns cleanly. nil keeps every
+	// trajectory bit-identical to the fault-free engine.
+	Faults *faults.Schedule
+
 	Seed uint64
 }
 
@@ -184,6 +199,11 @@ func (c AsyncConfig) validate(n int) error {
 				"(a per-client residual is Theta(clients*dim) state; client sharding exists to avoid it)")
 		}
 	}
+	if c.Faults.Enabled() {
+		if err := c.Faults.Validate(n); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -233,6 +253,7 @@ type AsyncEngine struct {
 
 	clients []asyncClient
 	idle    []int // idle client ids; sampled uniformly at dispatch
+	eligBuf []int // fault-path scratch: idle-list positions of active clients
 
 	q      *events.Queue
 	clocks *events.Clocks
@@ -454,12 +475,29 @@ func stalenessWeight(pow float64, s int) float64 {
 }
 
 // dispatchNew samples one idle client uniformly (seeded) and schedules its
-// Dispatch at time t. Returns false when no client is idle.
+// Dispatch at time t. Returns false when no client is idle. Under a fault
+// schedule, clients down at the current version are parked: they stay on
+// the idle list and the sample covers the active idle clients only —
+// recovery makes them eligible again at the next round boundary's refill.
 func (e *AsyncEngine) dispatchNew(t float64) bool {
 	if len(e.idle) == 0 {
 		return false
 	}
-	j := e.serverRng.Intn(len(e.idle))
+	j := -1
+	if e.cfg.Faults.Enabled() {
+		e.eligBuf = e.eligBuf[:0]
+		for p, id := range e.idle {
+			if !e.cfg.Faults.Down(id, e.version) {
+				e.eligBuf = append(e.eligBuf, p)
+			}
+		}
+		if len(e.eligBuf) == 0 {
+			return false
+		}
+		j = e.eligBuf[e.serverRng.Intn(len(e.eligBuf))]
+	} else {
+		j = e.serverRng.Intn(len(e.idle))
+	}
 	id := e.idle[j]
 	e.idle[j] = e.idle[len(e.idle)-1]
 	e.idle = e.idle[:len(e.idle)-1]
@@ -549,6 +587,15 @@ func (e *AsyncEngine) dispatch(i int, t float64) {
 	c.base = e.version
 	c.steps = e.cfg.Tau
 	c.upTime = e.delay.SampleTransfer(c.delayR, i, c.msg.Bytes())
+	if e.cfg.Faults.Enabled() {
+		// Slow-down episodes and drop-retries multiply both transfer legs,
+		// AFTER the draws, so the client's RNG streams stay aligned with
+		// the fault-free run.
+		f := e.cfg.Faults.LinkScale(i, e.version) *
+			float64(1+e.cfg.Faults.Retries(e.cfg.Seed, e.version, i))
+		downTime *= f
+		c.upTime *= f
+	}
 
 	arrival := t + downTime + compute + c.upTime
 	e.clocks.AdvanceTo(i, arrival)
@@ -567,6 +614,17 @@ func (e *AsyncEngine) arrive(i int, t float64) (roundDone bool) {
 	c.inflight = false
 	e.nInFlight--
 	e.idle = append(e.idle, i)
+
+	if e.cfg.Faults.Enabled() && e.cfg.Faults.Down(i, e.version) {
+		// The sender crashed (or blipped out) while its message was in
+		// flight: the server expires the work — the existing
+		// drop-and-redispatch path — so crashed state never folds into an
+		// aggregate.
+		e.stats.Expired++
+		e.releaseMsg(c)
+		e.dispatchNew(t)
+		return false
+	}
 
 	s := e.version - c.base
 	if s > e.cfg.MaxStaleness {

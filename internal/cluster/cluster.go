@@ -58,6 +58,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/delaymodel"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/nn"
@@ -169,6 +170,23 @@ type Config struct {
 	// RingGossip strategy with the zero-value Topology runs the default
 	// ring graph, bit-identical to the legacy hard-coded ring.
 	Topology comm.Topology
+
+	// Faults optionally injects a seeded crash/churn/slow-down schedule
+	// (internal/faults), keyed by the driving loop's round index. Crashed
+	// and blipped-out workers skip local updates and synchronization —
+	// full and elastic averaging renormalize over the survivors, gossip
+	// mixes on the induced active subgraph (down nodes isolated, weights
+	// and spectral gap re-derived, AdaptGossipGamma re-adapted) — and a
+	// worker rejoining after a blip reconciles first by pulling the
+	// current global model as a priced dense delta against its stale
+	// replica. Slow-down episodes and drop-retries multiply the affected
+	// worker's transfer times in the round schedule. The schedule is a
+	// pure function of (Seed, round) and consumes no RNG from any engine
+	// stream; nil (or an empty schedule) keeps every trajectory
+	// bit-identical to the fault-free engine. Run, RunParallel, and the
+	// async engine honor it; the manual StepLocal/SyncNow drivers do not
+	// advance the schedule.
+	Faults *faults.Schedule
 
 	Seed uint64
 }
@@ -387,6 +405,32 @@ type Engine struct {
 	evalBatch data.Batch
 	testBatch data.Batch
 
+	// Fault/membership state, allocated only when cfg.Faults.Enabled()
+	// (fltActive == nil is the fault-free sentinel every hot-path branch
+	// tests, so the legacy paths stay untouched and allocation-free):
+	// fltActive/fltDown are the round's membership view and its inverse
+	// (the delay model's mask convention), fltNActive its size, fltScale
+	// the per-worker transfer multipliers (slow-down episodes times drop
+	// retries), reconBytes the rejoin-reconcile payloads charged into the
+	// round's schedule, fltBytesBuf the schedule-bytes scratch that adds
+	// them in, reconBuf the reconcile delta scratch, and zeroRep the
+	// all-down round's empty transfer report. subGraph caches the induced
+	// active subgraph of the current gossip graph (re-derived only when
+	// the graph index or membership changes — subForIdx/subActive are the
+	// cache key) and subGamma its re-adapted consensus step.
+	fltActive   []bool
+	fltDown     []bool
+	fltNActive  int
+	fltScale    []float64
+	reconBytes  []int
+	fltBytesBuf []int
+	reconBuf    []float64
+	zeroRep     comm.Report
+	subGraph    *graph.Graph
+	subForIdx   int
+	subActive   []bool
+	subGamma    float64
+
 	cfg Config
 }
 
@@ -574,6 +618,28 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 		e.pullBuf = make([]float64, e.dim)
 		e.repBytes = make([]int, m)
 	}
+	// Fault state comes after every RNG-consuming allocation and draws
+	// nothing itself: the schedule is a pure function of (Seed, round), so
+	// attaching one cannot shift any existing stream. fltActive non-nil is
+	// the sentinel the hot paths test.
+	if cfg.Faults.Enabled() {
+		if err := cfg.Faults.Validate(m); err != nil {
+			return nil, err
+		}
+		e.fltActive = make([]bool, m)
+		for i := range e.fltActive {
+			e.fltActive[i] = true
+		}
+		e.fltDown = make([]bool, m)
+		e.fltNActive = m
+		e.fltScale = make([]float64, m)
+		e.reconBytes = make([]int, m)
+		e.fltBytesBuf = make([]int, m)
+		e.reconBuf = make([]float64, e.dim)
+		e.zeroRep = comm.Report{Bytes: make([]int, m)}
+		e.subForIdx = -1
+		e.subActive = make([]bool, m)
+	}
 	return e, nil
 }
 
@@ -625,11 +691,30 @@ func (e *Engine) roundTime(steps int) (compute, comm float64) {
 		for k := 0; k < steps; k++ {
 			sum += e.delay.Y.Sample(e.r)
 		}
+		// Down workers' compute draws still happen (stream alignment: the
+		// round consumes the same RNG regardless of membership) but do not
+		// gate the round.
+		if e.fltDown != nil && e.fltDown[i] {
+			continue
+		}
 		if v := e.slow[i] * sum; v > mx {
 			mx = v
 		}
 	}
-	comm = e.delay.SampleDEdgeScheduleInto(e.r, e.lastReport.Bytes, e.activeAdj, e.latHops, e.bytesFactor, e.linkTimes)
+	if math.IsInf(mx, -1) {
+		mx = 0 // every worker down: the round is pure waiting
+	}
+	if e.fltActive == nil {
+		comm = e.delay.SampleDEdgeScheduleInto(e.r, e.lastReport.Bytes, e.activeAdj, e.latHops, e.bytesFactor, e.linkTimes)
+		return mx, comm
+	}
+	// Fault path: rejoin-reconcile payloads ride the round's schedule, down
+	// workers ship nothing, and slow-down/drop-retry factors multiply the
+	// survivors' transfers.
+	for i := range e.fltBytesBuf {
+		e.fltBytesBuf[i] = e.lastReport.Bytes[i] + e.reconBytes[i]
+	}
+	comm = e.delay.SampleDEdgeScheduleFaultyInto(e.r, e.fltBytesBuf, e.activeAdj, e.latHops, e.bytesFactor, e.fltDown, e.fltScale, e.linkTimes)
 	return mx, comm
 }
 
@@ -681,6 +766,9 @@ func (w *worker) runSteps(steps int, lr float64) {
 // fixed worker order.
 func (e *Engine) localUpdates(steps int, lr float64) {
 	par.ForEach(e.m, e.pool, func(i int) {
+		if e.fltActive != nil && !e.fltActive[i] {
+			return // down workers freeze: no steps, no sampler draws
+		}
 		e.workers[i].runSteps(steps, lr)
 	})
 }
@@ -688,6 +776,13 @@ func (e *Engine) localUpdates(steps int, lr float64) {
 // average synchronizes the replicas according to the configured strategy
 // and refreshes e.global (the model that evaluation and AdaComm observe).
 func (e *Engine) average() {
+	if e.fltActive != nil && e.fltNActive == 0 {
+		// Every worker is down: nothing is exchanged, the global model and
+		// all replicas stand, and the gossip sequence does not advance (no
+		// synchronization happened).
+		e.lastReport = e.zeroRep
+		return
+	}
 	switch e.cfg.Strategy {
 	case RingGossip:
 		e.averageRing()
@@ -711,7 +806,8 @@ func (e *Engine) averageFull() {
 		// Raw path: each worker contributes its dense parameter vector as a
 		// lossless wire message; the communicator sums them in worker order,
 		// which keeps the arithmetic bit-identical to the pre-comm-layer
-		// tensor.Mean.
+		// tensor.Mean. Under faults the communicator skips inactive
+		// contributions and the mean renormalizes over the survivors.
 		for i, w := range e.workers {
 			e.msgBuf[i] = compress.Message{Dim: e.dim, Enc: compress.EncDense, Dense: w.model.Params()}
 		}
@@ -721,6 +817,9 @@ func (e *Engine) averageFull() {
 		}
 		e.lastReport = rep
 		inv := 1 / float64(e.m)
+		if e.fltActive != nil {
+			inv = 1 / float64(e.fltNActive)
+		}
 		for j := range avg {
 			avg[j] = e.sumBuf[j] * inv
 		}
@@ -744,7 +843,10 @@ func (e *Engine) averageFull() {
 		copy(e.global, avg)
 	}
 
-	for _, w := range e.workers {
+	for i, w := range e.workers {
+		if e.fltActive != nil && !e.fltActive[i] {
+			continue // down replicas keep their stale state until rejoin
+		}
 		w.model.SetParams(e.global)
 		if e.cfg.BlockMomentum != 0 || e.cfg.Momentum != 0 {
 			// Restart local momentum after averaging so the stale local
@@ -765,6 +867,12 @@ func (e *Engine) averageFull() {
 // identical under every compressor.
 func (e *Engine) compressedDeltaMean(avg []float64) {
 	for i, w := range e.workers {
+		if e.fltActive != nil && !e.fltActive[i] {
+			// Down workers contribute nothing and their compressor state
+			// (error-feedback residual, stochastic stream) freezes with them.
+			e.msgBuf[i] = compress.Message{}
+			continue
+		}
 		tensor.Sub(e.deltaBuf, w.model.Params(), e.global)
 		msg, err := e.comps[i].Compress(e.deltaBuf)
 		if err != nil {
@@ -778,6 +886,9 @@ func (e *Engine) compressedDeltaMean(avg []float64) {
 	}
 	e.lastReport = rep
 	inv := 1 / float64(e.m)
+	if e.fltActive != nil {
+		inv = 1 / float64(e.fltNActive)
+	}
 	for j := range avg {
 		avg[j] = e.global[j] + e.sumBuf[j]*inv
 	}
@@ -830,6 +941,7 @@ func (e *Engine) Run(ctrl Controller, traceName string) *metrics.Trace {
 			}
 		}
 
+		e.beginRound(info.Round)
 		e.localUpdates(steps, lr)
 		info.Iter += steps
 		// Averaging precedes the clock update so roundTime can charge this

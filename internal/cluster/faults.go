@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"repro/internal/compress"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// This file is the engine side of fault injection (internal/faults): the
+// per-round membership refresh, the rejoin reconciliation, and the induced
+// active-subgraph cache gossip mixes on. Everything here is gated on
+// e.fltActive != nil — the sentinel New sets only when a schedule is
+// attached — and consumes no RNG, so the fault-free engine is untouched
+// down to the bit.
+
+// beginRound refreshes the round's membership view from the fault schedule:
+// the active set (installed into the communicator), the down mask and the
+// per-worker transfer multipliers roundTime charges, and the reconciliation
+// pulls of workers rejoining after a blip. Run and RunParallel call it at
+// the top of every round; the manual StepLocal/SyncNow drivers do not.
+func (e *Engine) beginRound(round int) {
+	if e.fltActive == nil {
+		return
+	}
+	e.fltNActive = e.cfg.Faults.ActiveInto(round, e.fltActive)
+	for i := range e.fltDown {
+		e.fltDown[i] = !e.fltActive[i]
+	}
+	e.com.SetActive(e.fltActive)
+	for i := range e.fltScale {
+		// Slow-down episodes multiply the worker's transfers; each dropped
+		// attempt (retried with backoff) charges one extra full transfer.
+		e.fltScale[i] = e.cfg.Faults.LinkScale(i, round) *
+			float64(1+e.cfg.Faults.Retries(e.cfg.Seed, round, i))
+		e.reconBytes[i] = 0
+	}
+	for i := range e.workers {
+		if e.fltActive[i] && e.cfg.Faults.Rejoins(i, round) {
+			e.reconcile(i)
+		}
+	}
+}
+
+// reconcile brings a rejoining worker back into the cluster: it pulls the
+// delta between the current global model and its stale replica as a dense
+// (lossless) wire message — priced into this round's transfer schedule via
+// reconBytes — and snaps its replica to the global model exactly, the same
+// lossless-pull rule the parameter server's PullCompress path uses. Local
+// momentum restarts, and under compressed gossip the worker's CHOCO
+// estimate and projection re-pin to the pulled model so its next wire
+// message is a delta from shared state, not from a pre-crash ghost.
+func (e *Engine) reconcile(i int) {
+	w := e.workers[i]
+	tensor.Sub(e.reconBuf, e.global, w.model.Params())
+	msg := compress.Message{Dim: e.dim, Enc: compress.EncDense, Dense: e.reconBuf}
+	pay := e.com.Pull(i, msg.Bytes())
+	e.reconBytes[i] = pay.DownBytes
+	w.model.SetParams(e.global)
+	if e.cfg.BlockMomentum != 0 || e.cfg.Momentum != 0 {
+		w.opt.ResetMomentum()
+	}
+	if e.gossip != nil {
+		copy(e.gossip.hat[i], e.global)
+		copy(e.gossip.proj[i], e.global)
+	}
+}
+
+// activeGossipGraph returns the mixing graph for the synchronization being
+// executed: the sequence's graph itself when every worker is up (the legacy
+// arithmetic, bit for bit), or the induced subgraph over the active set —
+// down nodes isolated, Metropolis weights and spectral gap re-derived
+// (graph.Subgraph) — when membership shrank. The subgraph is cached on
+// (sequence index, active set) so steady churn rebuilds nothing, and its
+// re-adapted consensus step is published in e.subGamma for
+// AdaptGossipGamma. The published adjacency (per-edge delay pricing) always
+// matches the graph actually mixed on.
+func (e *Engine) activeGossipGraph() (*graph.Graph, int) {
+	g, idx := e.nextGossipGraph()
+	if e.fltActive == nil || e.fltNActive == e.m {
+		return g, idx
+	}
+	if idx != e.subForIdx || !boolsEqual(e.subActive, e.fltActive) {
+		e.subGraph = g.Subgraph(e.fltActive)
+		e.subForIdx = idx
+		copy(e.subActive, e.fltActive)
+		e.subGamma = graph.AdaptiveGamma(e.subGraph.SpectralGap())
+	}
+	e.activeAdj = e.subGraph.Adjacency()
+	return e.subGraph, idx
+}
+
+// boolsEqual reports whether two equal-length masks match.
+func boolsEqual(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/faults"
+	"repro/internal/sgd"
+)
+
+func mustFaults(t *testing.T, spec string) *faults.Schedule {
+	t.Helper()
+	s, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func floatsExact(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// faultVariantCfgs enumerates one config per mixing strategy (raw and
+// compressed) for the fault tests.
+func faultVariantCfgs() map[string]Config {
+	base := baseCfg()
+
+	full := base
+
+	topk := base
+	topk.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.25, ErrorFeedback: true}
+
+	ring := base
+	ring.Strategy = RingGossip
+
+	choco := base
+	choco.Strategy = RingGossip
+	choco.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.25}
+	choco.GossipGamma = 0.8
+
+	elastic := base
+	elastic.Strategy = ElasticAveraging
+
+	return map[string]Config{
+		"full": full, "full-topk": topk, "ring": ring, "choco": choco, "elastic": elastic,
+	}
+}
+
+// TestFaultFreeSchedulesBitIdentical pins the PR's core contract: a nil
+// schedule, an empty parsed schedule, and an enabled schedule whose first
+// event lies beyond the run's horizon all produce bit-identical parameters
+// and traces — attaching the fault machinery consumes no RNG and perturbs
+// no arithmetic while everyone is up.
+func TestFaultFreeSchedulesBitIdentical(t *testing.T) {
+	for name, cfg := range faultVariantCfgs() {
+		run := func(f *faults.Schedule) (uint64, uint64) {
+			s := newSetup(t, 4, 1)
+			c := cfg
+			c.Faults = f
+			e := s.engine(t, c)
+			tr := e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, name)
+			return hashParams(e.GlobalParams()), hashTrace(tr)
+		}
+		pNil, trNil := run(nil)
+		pEmpty, trEmpty := run(mustFaults(t, "  "))
+		pFar, trFar := run(mustFaults(t, "crash:0@r100000,slow:1x4@r100000-100010"))
+		if pEmpty != pNil || trEmpty != trNil {
+			t.Errorf("%s: empty schedule diverged (params %x/%x trace %x/%x)",
+				name, pEmpty, pNil, trEmpty, trNil)
+		}
+		if pFar != pNil || trFar != trNil {
+			t.Errorf("%s: beyond-horizon schedule diverged (params %x/%x trace %x/%x)",
+				name, pFar, pNil, trFar, trNil)
+		}
+	}
+}
+
+// TestChurnMatrixCompletes is the deadlock-freedom matrix: every strategy,
+// under crash + crash-recover churn + slow-down + message drop, must finish
+// both the lock-step and the goroutine-parallel backend with a finite loss.
+// The churn takes two of five workers down mid-run (one permanently), so
+// every renormalization and subgraph path is exercised. Bounded by go
+// test's timeout: a deadlock fails the suite.
+func TestChurnMatrixCompletes(t *testing.T) {
+	const spec = "blip:0@r5-12,blip:1@r20-28,crash:2@r40,slow:3x4@r10-30,drop:0.1"
+	for name, cfg := range faultVariantCfgs() {
+		cfg.Faults = mustFaults(t, spec)
+		for _, backend := range []string{"run", "parallel"} {
+			s := newSetup(t, 5, 1)
+			e := s.engine(t, cfg)
+			var tr interface{ FinalLoss() float64 }
+			if backend == "run" {
+				tr = e.Run(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, name)
+			} else {
+				tr = e.RunParallel(FixedTau{Tau: 5, Schedule: sgd.Const{Eta: 0.1}}, name)
+			}
+			if loss := tr.FinalLoss(); math.IsNaN(loss) || math.IsInf(loss, 0) {
+				t.Errorf("%s/%s: final loss %v under churn", name, backend, loss)
+			}
+		}
+	}
+}
+
+// TestAllWorkersDownRoundIsInert pins the all-down semantics: no exchange,
+// no gossip-sequence advance, global and replicas stand.
+func TestAllWorkersDownRoundIsInert(t *testing.T) {
+	s := newSetup(t, 3, 1)
+	cfg := baseCfg()
+	cfg.Faults = mustFaults(t, "blip:0@r1-1,blip:1@r1-1,blip:2@r1-1")
+	e := s.engine(t, cfg)
+
+	e.beginRound(0)
+	e.localUpdates(5, 0.1)
+	e.average()
+	before := e.GlobalParams()
+
+	e.beginRound(1)
+	if e.fltNActive != 0 {
+		t.Fatalf("active count %d, want 0", e.fltNActive)
+	}
+	e.localUpdates(5, 0.1)
+	e.average()
+	if !floatsExact(e.GlobalParams(), before) {
+		t.Fatal("all-down round moved the global model")
+	}
+	if e.lastReport.Max != 0 {
+		t.Fatalf("all-down round shipped %d bytes", e.lastReport.Max)
+	}
+}
+
+// TestRejoinReconciliation pins the rejoin contract on the full-averaging
+// path: a blipped worker freezes while down, and on rejoin it pulls the
+// priced dense delta and snaps EXACTLY to the global model — matching a
+// never-crashed worker bit for bit.
+func TestRejoinReconciliation(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.Faults = mustFaults(t, "blip:1@r1-2")
+	e := s.engine(t, cfg)
+	const lr = 0.1
+
+	e.beginRound(0)
+	e.localUpdates(5, lr)
+	e.average()
+	frozen := e.LocalModelParams(1) // the post-sync model worker 1 crashes with
+
+	for r := 1; r <= 2; r++ {
+		e.beginRound(r)
+		e.localUpdates(5, lr)
+		e.average()
+	}
+	if !floatsExact(e.LocalModelParams(1), frozen) {
+		t.Fatal("down worker's replica moved")
+	}
+	if floatsExact(e.GlobalParams(), frozen) {
+		t.Fatal("survivors did not make progress while worker 1 was down")
+	}
+
+	e.beginRound(3) // rejoin round: reconcile fires before local updates
+	if got, want := e.reconBytes[1], 8*e.dim; got != want {
+		t.Fatalf("reconcile payload %d bytes, want %d", got, want)
+	}
+	if !floatsExact(e.LocalModelParams(1), e.GlobalParams()) {
+		t.Fatal("rejoined replica != global model")
+	}
+	if !floatsExact(e.LocalModelParams(1), e.LocalModelParams(0)) {
+		t.Fatal("rejoined replica != never-crashed replica")
+	}
+}
+
+// TestRejoinRepinsGossipEstimates: under compressed (CHOCO) gossip a
+// rejoiner's estimate and projection re-pin to the pulled model, so its
+// next wire message is a delta from shared state.
+func TestRejoinRepinsGossipEstimates(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.Strategy = RingGossip
+	cfg.Compress = compress.Spec{Kind: compress.KindTopK, Ratio: 0.25}
+	cfg.GossipGamma = 0.8
+	cfg.Faults = mustFaults(t, "blip:2@r1-2")
+	e := s.engine(t, cfg)
+	const lr = 0.1
+
+	for r := 0; r <= 2; r++ {
+		e.beginRound(r)
+		e.localUpdates(5, lr)
+		e.average()
+	}
+	e.beginRound(3)
+	if !floatsExact(e.gossip.hat[2], e.global) {
+		t.Fatal("rejoined estimate not re-pinned to the pulled model")
+	}
+	if !floatsExact(e.gossip.proj[2], e.global) {
+		t.Fatal("rejoined projection not re-pinned")
+	}
+	if !floatsExact(e.LocalModelParams(2), e.GlobalParams()) {
+		t.Fatal("rejoined replica != pulled model")
+	}
+}
+
+func TestFaultsValidatedAtConstruction(t *testing.T) {
+	s := newSetup(t, 4, 1)
+	cfg := baseCfg()
+	cfg.Faults = mustFaults(t, "crash:9@r1")
+	if _, err := New(s.proto, s.shards, s.train, s.test, s.dm, cfg); err == nil {
+		t.Fatal("accepted out-of-range fault worker")
+	}
+}
+
+// TestAsyncChurnCompletes drives the event-driven engine through
+// crash-recover churn plus drops: the run must terminate with a finite
+// loss, and work in flight from a crashed client must be expired rather
+// than aggregated.
+func TestAsyncChurnCompletes(t *testing.T) {
+	s := asyncSetup(t, 8)
+	cfg := baseAsyncCfg()
+	cfg.MaxUpdates = 60
+	cfg.Faults = mustFaults(t, "blip:0@r5-20,blip:1@r10-30,crash:2@r25,slow:3x5@r5-40,drop:0.15")
+	e := s.async(t, cfg)
+	tr := e.Run("async-churn")
+	if loss := tr.FinalLoss(); math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("final loss %v under churn", loss)
+	}
+	if e.Version() == 0 {
+		t.Fatal("no aggregations applied under churn")
+	}
+}
+
+// TestAsyncAllDownTerminates: a schedule that takes the whole population
+// down drains the queue and Run returns instead of spinning.
+func TestAsyncAllDownTerminates(t *testing.T) {
+	s := asyncSetup(t, 4)
+	cfg := baseAsyncCfg()
+	cfg.Participation, cfg.InFlight = 2, 4
+	cfg.MaxUpdates = 1000
+	cfg.Faults = mustFaults(t, "crash:0@r3,crash:1@r3,crash:2@r3,crash:3@r3")
+	e := s.async(t, cfg)
+	tr := e.Run("async-all-down")
+	if tr.Len() == 0 {
+		t.Fatal("no trace points")
+	}
+	if e.Version() >= 1000 {
+		t.Fatal("run did not stop at the crash wall")
+	}
+}
+
+func TestAsyncFaultsValidatedAtConstruction(t *testing.T) {
+	s := asyncSetup(t, 4)
+	cfg := baseAsyncCfg()
+	cfg.Faults = mustFaults(t, "blip:7@r1-2")
+	if _, err := NewAsync(s.proto, s.shards, s.train, s.test, s.dm, cfg); err == nil {
+		t.Fatal("accepted out-of-range fault worker")
+	}
+}
+
+// TestAsyncFaultFreeScheduleBitIdentical: the async engine honors the same
+// zero-fault bit-identity contract as the lock-step engines.
+func TestAsyncFaultFreeScheduleBitIdentical(t *testing.T) {
+	run := func(f *faults.Schedule) uint64 {
+		s := asyncSetup(t, 8)
+		cfg := baseAsyncCfg()
+		cfg.Faults = f
+		e := s.async(t, cfg)
+		e.Run("async")
+		return hashParams(e.GlobalParams())
+	}
+	if run(nil) != run(mustFaults(t, "crash:0@r100000")) {
+		t.Fatal("beyond-horizon schedule diverged")
+	}
+}

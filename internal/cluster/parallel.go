@@ -72,12 +72,18 @@ func (e *Engine) RunParallel(ctrl Controller, traceName string) *metrics.Trace {
 		}
 
 		// --- parallel local-update phase ---
+		e.beginRound(info.Round)
 		var wg sync.WaitGroup
 		for i, w := range e.workers {
 			wg.Add(1)
 			go func(i int, w *worker) {
 				defer wg.Done()
-				w.runSteps(steps, lr)
+				// A down worker's goroutine still participates in the
+				// channel protocol (contribute/release) so the barrier can
+				// never deadlock; it just performs no steps.
+				if e.fltActive == nil || e.fltActive[i] {
+					w.runSteps(steps, lr)
+				}
 				contribute[i] <- w.model.Params()
 			}(i, w)
 		}

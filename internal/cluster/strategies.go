@@ -197,16 +197,21 @@ func (e *Engine) averageRing() {
 		e.averageRingChoco()
 		return
 	}
-	g, _ := e.nextGossipGraph()
+	g, _ := e.activeGossipGraph()
 	for i, w := range e.workers {
 		copy(e.ringSnap[i], w.model.Params())
 	}
 	for i, w := range e.workers {
+		if e.fltDown != nil && e.fltDown[i] {
+			continue // down nodes neither mix nor are mixed with (the
+			// subgraph's rows never reference their stale snapshots)
+		}
 		if g.Degree(i) > 0 {
 			mixRowInto(w.model.Params(), g, i, e.ringSnap)
 		}
-		// Degree 0 (m == 1): nothing to mix with; the mix is the
-		// identity, not the rounding-perturbed (x+x+x)/3.
+		// Degree 0 (m == 1, or an active node isolated by churn): nothing
+		// to mix with; the mix is the identity, not the
+		// rounding-perturbed (x+x+x)/3.
 		e.resetWorkerMomentum(w)
 	}
 	e.lastReport = e.denseRep
@@ -239,10 +244,16 @@ func (e *Engine) averageRing() {
 // at m = 3 the ring mix is the global mean, so this is also the compressed
 // "ring == full averaging" anchor).
 func (e *Engine) averageRingChoco() {
-	gr, idx := e.nextGossipGraph()
+	gr, idx := e.activeGossipGraph()
 	g := e.gossip
 	maxBytes := 0
 	for i, node := range g.nodes {
+		if e.fltDown != nil && e.fltDown[i] {
+			// Down nodes send nothing; their estimates (and compressor
+			// residuals) freeze with them until reconcile re-pins them.
+			e.repBytes[i] = 0
+			continue
+		}
 		params := node.Params()
 		var msg compress.Message
 		if g.lossless {
@@ -272,8 +283,16 @@ func (e *Engine) averageRingChoco() {
 	gamma := g.gamma
 	if e.gammas != nil {
 		gamma = e.gammas[idx]
+		if e.fltActive != nil && e.fltNActive < e.m {
+			// AdaptGossipGamma re-adapts on every membership change: the
+			// consensus step follows the ACTIVE subgraph's spectral gap.
+			gamma = e.subGamma
+		}
 	}
 	for i, node := range g.nodes {
+		if e.fltDown != nil && e.fltDown[i] {
+			continue
+		}
 		dst := node.Params()
 		hs := g.hat[i]
 		prj := g.proj[i]
@@ -298,8 +317,21 @@ func (e *Engine) averageRingChoco() {
 	// x̃_i = x̂_i + gamma*(mix_i - x̂_i): every term comes off the wire, and
 	// the projection applies the same mixing expression the replicas do, so
 	// a lossless compressor (x̂_i == x_i exactly) makes the evaluated model
-	// bit-identical to the raw path's post-mix replica mean.
-	tensor.Mean(e.global, g.proj...)
+	// bit-identical to the raw path's post-mix replica mean. Under churn
+	// the mean covers the active estimates only (average() already
+	// guaranteed at least one).
+	if e.fltActive == nil {
+		tensor.Mean(e.global, g.proj...)
+	} else {
+		k := 0
+		for i := range g.proj {
+			if e.fltActive[i] {
+				e.meanVecs[k] = g.proj[i]
+				k++
+			}
+		}
+		tensor.Mean(e.global, e.meanVecs[:k]...)
+	}
 }
 
 // averageElastic applies the EASGD update: x_i <- x_i - alpha(x_i - z),
@@ -316,6 +348,10 @@ func (e *Engine) averageElastic() {
 	}
 	maxBytes := 0
 	for i, w := range e.workers {
+		if e.fltDown != nil && e.fltDown[i] {
+			e.repBytes[i] = 0 // down replicas neither push nor get pulled
+			continue
+		}
 		p := w.model.Params()
 		if e.comps != nil {
 			tensor.Sub(e.deltaBuf, p, e.global)
@@ -346,7 +382,11 @@ func (e *Engine) averageElastic() {
 		}
 		e.resetWorkerMomentum(w)
 	}
-	tensor.Axpy(beta/float64(e.m), centerPull, e.global)
+	n := float64(e.m)
+	if e.fltActive != nil {
+		n = float64(e.fltNActive) // the center moves toward the SURVIVORS' mean
+	}
+	tensor.Axpy(beta/n, centerPull, e.global)
 	e.lastReport = comm.Report{Bytes: e.repBytes, Max: maxBytes}
 }
 
@@ -355,10 +395,24 @@ func (e *Engine) averageElastic() {
 // model; the CHOCO path averages its estimates instead so that even the
 // evaluated model is wire-derivable).
 func (e *Engine) refreshGlobalFromReplicaMean() {
-	for i, w := range e.workers {
-		e.meanVecs[i] = w.model.Params()
+	if e.fltActive == nil {
+		for i, w := range e.workers {
+			e.meanVecs[i] = w.model.Params()
+		}
+		tensor.Mean(e.global, e.meanVecs...)
+		return
 	}
-	tensor.Mean(e.global, e.meanVecs...)
+	// Under churn only the active replicas define the evaluated model;
+	// stale crashed state must not drag the loss curve. average() already
+	// guaranteed at least one active worker.
+	k := 0
+	for i, w := range e.workers {
+		if e.fltActive[i] {
+			e.meanVecs[k] = w.model.Params()
+			k++
+		}
+	}
+	tensor.Mean(e.global, e.meanVecs[:k]...)
 }
 
 func (e *Engine) resetWorkerMomentum(w *worker) {

@@ -53,11 +53,28 @@ type Report struct {
 // Implementations must be deterministic: aggregation happens in fixed worker
 // order, which is what keeps the cluster engine's lock-step and goroutine
 // backends bitwise identical.
+//
+// The communicator also carries the round's MEMBERSHIP VIEW: SetActive
+// installs which workers currently exist (crashed and blipped-out workers
+// are inactive), AllReduce skips inactive contributions, and Push/PushMulti
+// reject exchanges naming an inactive endpoint — a fault-injection bug
+// that routes traffic through a dead worker fails loudly instead of
+// silently averaging stale state. Membership POLICY (who is down when,
+// retry and timeout pricing) lives in internal/faults and the engines; the
+// communicator only enforces the view it is handed.
 type Communicator interface {
 	// AllReduce zeroes sum, accumulates every message's reconstruction into
 	// it in worker order (sparse index-merge), and returns the round's
-	// transfer Report.
+	// transfer Report. Inactive workers' messages are skipped: they add
+	// nothing and ship zero bytes (callers renormalize by ActiveCount).
 	AllReduce(msgs []compress.Message, sum []float64) (Report, error)
+	// SetActive installs the active worker set for subsequent calls. nil
+	// restores the full membership (the legacy fixed-m view); otherwise
+	// len(active) must equal the worker count. The slice is caller-owned
+	// and copied.
+	SetActive(active []bool)
+	// ActiveCount returns the size of the current active set.
+	ActiveCount() int
 	// Push decodes worker's message into dst (overwriting it) and returns
 	// the transfer's Payload.
 	Push(worker int, msg compress.Message, dst []float64) (Payload, error)
@@ -71,14 +88,17 @@ type Communicator interface {
 	Pull(worker int, bytes int) Payload
 }
 
-// Simulated is the in-process Communicator used by the whole simulator. It
-// is stateless apart from its shape, so one instance may serve any number of
-// rounds; it owns no RNG and therefore never perturbs the engines' random
-// streams. The topology itself only carries pricing multipliers
-// (LatencyHops/BytesFactor), which callers read at construction time.
+// Simulated is the in-process Communicator used by the whole simulator.
+// Apart from its shape and the installed membership view it is stateless,
+// so one instance may serve any number of rounds; it owns no RNG and
+// therefore never perturbs the engines' random streams. The topology
+// itself only carries pricing multipliers (LatencyHops/BytesFactor),
+// which callers read at construction time.
 type Simulated struct {
-	topo Topology
-	m    int
+	topo    Topology
+	m       int
+	active  []bool // nil = everyone (the legacy fixed-m view)
+	nActive int
 }
 
 // New builds a communicator for m workers on the given topology.
@@ -86,11 +106,42 @@ func New(topo Topology, m int) *Simulated {
 	if m < 1 {
 		panic("comm: need at least one worker")
 	}
-	return &Simulated{topo: topo, m: m}
+	return &Simulated{topo: topo, m: m, nActive: m}
 }
 
+// SetActive implements Communicator.
+func (c *Simulated) SetActive(active []bool) {
+	if active == nil {
+		c.active = nil
+		c.nActive = c.m
+		return
+	}
+	if len(active) != c.m {
+		panic(fmt.Sprintf("comm: active set covers %d of %d workers", len(active), c.m))
+	}
+	if c.active == nil {
+		c.active = make([]bool, c.m)
+	}
+	n := 0
+	for i, up := range active {
+		c.active[i] = up
+		if up {
+			n++
+		}
+	}
+	c.nActive = n
+}
+
+// ActiveCount implements Communicator.
+func (c *Simulated) ActiveCount() int { return c.nActive }
+
+// isActive reports whether worker i is in the current active set.
+func (c *Simulated) isActive(i int) bool { return c.active == nil || c.active[i] }
+
 // AllReduce implements Communicator. Messages are accumulated in worker
-// order; sparse messages merge by index in O(k) each.
+// order; sparse messages merge by index in O(k) each. With an active set
+// installed, inactive workers' messages are skipped entirely (zero
+// contribution, zero bytes).
 func (c *Simulated) AllReduce(msgs []compress.Message, sum []float64) (Report, error) {
 	if len(msgs) != c.m {
 		return Report{}, fmt.Errorf("comm: %d messages for %d workers", len(msgs), c.m)
@@ -100,6 +151,9 @@ func (c *Simulated) AllReduce(msgs []compress.Message, sum []float64) (Report, e
 	}
 	rep := Report{Bytes: make([]int, c.m)}
 	for i, msg := range msgs {
+		if !c.isActive(i) {
+			continue
+		}
 		if err := compress.AddDecoded(msg, sum); err != nil {
 			return Report{}, fmt.Errorf("comm: worker %d: %w", i, err)
 		}
@@ -117,6 +171,9 @@ func (c *Simulated) Push(worker int, msg compress.Message, dst []float64) (Paylo
 	if worker < 0 || worker >= c.m {
 		return Payload{}, fmt.Errorf("comm: worker %d out of [0,%d)", worker, c.m)
 	}
+	if !c.isActive(worker) {
+		return Payload{}, fmt.Errorf("comm: worker %d is not in the active set", worker)
+	}
 	if err := compress.Decode(msg, dst); err != nil {
 		return Payload{}, fmt.Errorf("comm: worker %d: %w", worker, err)
 	}
@@ -128,9 +185,15 @@ func (c *Simulated) PushMulti(worker int, peers []int, msg compress.Message, dst
 	if worker < 0 || worker >= c.m {
 		return Payload{}, fmt.Errorf("comm: worker %d out of [0,%d)", worker, c.m)
 	}
+	if !c.isActive(worker) {
+		return Payload{}, fmt.Errorf("comm: worker %d is not in the active set", worker)
+	}
 	for ai, p := range peers {
 		if p < 0 || p >= c.m {
 			return Payload{}, fmt.Errorf("comm: peer %d out of [0,%d)", p, c.m)
+		}
+		if !c.isActive(p) {
+			return Payload{}, fmt.Errorf("comm: worker %d addressed inactive peer %d", worker, p)
 		}
 		if p == worker {
 			return Payload{}, fmt.Errorf("comm: worker %d addressed itself", worker)

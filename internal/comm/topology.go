@@ -142,11 +142,16 @@ func ParseTopology(s string) (Topology, error) {
 
 // LatencyHops returns the number of sequential message launches one
 // synchronization needs over m nodes, each paying the base inter-node
-// latency. It is >= 1 and equals 1 for m <= 1 on every topology. Gossip
+// latency. It is >= 1 and equals 1 for m = 1 on every topology; m < 1
+// panics (graph constructors and Spec.Build reject it the same way, so
+// no schedule multiplier is ever computed for an empty cluster). Gossip
 // graph rounds are a single overlapped neighbor multicast, so they keep
 // the legacy factor 1.
 func (t Topology) LatencyHops(m int) float64 {
-	if m <= 1 {
+	if m < 1 {
+		panic(fmt.Sprintf("comm: topology %s over %d nodes (need at least one)", t, m))
+	}
+	if m == 1 {
 		return 1
 	}
 	switch t.kind {
@@ -162,9 +167,13 @@ func (t Topology) LatencyHops(m int) float64 {
 
 // BytesFactor returns the multiple of the per-node payload that node's link
 // carries over the whole operation. Gossip graph rounds ship each node's
-// payload once over its (overlapped) neighbor links, factor 1.
+// payload once over its (overlapped) neighbor links, factor 1. m < 1
+// panics, exactly as LatencyHops.
 func (t Topology) BytesFactor(m int) float64 {
-	if m <= 1 {
+	if m < 1 {
+		panic(fmt.Sprintf("comm: topology %s over %d nodes (need at least one)", t, m))
+	}
+	if m == 1 {
 		return 1
 	}
 	switch t.kind {

@@ -315,6 +315,7 @@ func (dm *Model) SampleDSchedule(r *rng.Rand, bytesPerWorker []int, latHops, byt
 // round, and by how much). Total value and RNG consumption are exactly
 // SampleDSchedule's, so recording times never perturbs a trace.
 func (dm *Model) SampleDScheduleInto(r *rng.Rand, bytesPerWorker []int, latHops, bytesFactor float64, times []float64) float64 {
+	dm.checkScheduleWidth(len(bytesPerWorker))
 	d := dm.D0.Sample(r) * latHops
 	if dm.Links == nil {
 		mx := 0
@@ -372,6 +373,10 @@ func (dm *Model) SampleDEdgeScheduleInto(r *rng.Rand, bytesPerWorker []int, adj 
 	if adj == nil || dm.EdgeLinks == nil {
 		return dm.SampleDScheduleInto(r, bytesPerWorker, latHops, bytesFactor, times)
 	}
+	dm.checkScheduleWidth(len(bytesPerWorker))
+	if len(adj) < len(bytesPerWorker) {
+		panic(fmt.Sprintf("delaymodel: schedule for %d workers over a %d-node adjacency", len(bytesPerWorker), len(adj)))
+	}
 	d := dm.D0.Sample(r) * latHops
 	slow := 0.0
 	for i, b := range bytesPerWorker {
@@ -395,6 +400,131 @@ func (dm *Model) SampleDEdgeScheduleInto(r *rng.Rand, bytesPerWorker []int, adj 
 			if t > wt {
 				wt = t
 			}
+		}
+		if times != nil {
+			times[i] = wt
+		}
+		if wt > slow {
+			slow = wt
+		}
+	}
+	return (d + slow) * dm.Scale.Factor(dm.M)
+}
+
+// checkScheduleWidth guards the per-worker link table against a schedule
+// wider than it covers: before dynamic membership, a shrunk or mismatched
+// worker set would silently index past Links and crash with a bare
+// out-of-range error deep in a round's pricing. The schedule may be
+// NARROWER than the table (a subset of workers is fine); it must never be
+// wider.
+func (dm *Model) checkScheduleWidth(workers int) {
+	if dm.Links != nil && len(dm.Links) < workers {
+		panic(fmt.Sprintf("delaymodel: schedule for %d workers but only %d links (Links must cover every worker)", workers, len(dm.Links)))
+	}
+}
+
+// SampleDScheduleFaultyInto is SampleDScheduleInto under a fault mask:
+// down[i] excludes worker i from the schedule entirely (it neither sends
+// nor gates the round, and times[i] is recorded as 0), and scale[i]
+// multiplies worker i's transfer time (slow-down episodes; retry charges
+// fold in here too). With both nil the call delegates bit-identically to
+// the legacy method — either way exactly one D0 draw is consumed, so
+// enabling faults never shifts the delay RNG stream.
+func (dm *Model) SampleDScheduleFaultyInto(r *rng.Rand, bytesPerWorker []int, latHops, bytesFactor float64, down []bool, scale []float64, times []float64) float64 {
+	if down == nil && scale == nil {
+		return dm.SampleDScheduleInto(r, bytesPerWorker, latHops, bytesFactor, times)
+	}
+	dm.checkScheduleWidth(len(bytesPerWorker))
+	d := dm.D0.Sample(r) * latHops
+	slow := 0.0
+	for i, b := range bytesPerWorker {
+		if down != nil && down[i] {
+			if times != nil {
+				times[i] = 0
+			}
+			continue
+		}
+		var t float64
+		if dm.Links == nil {
+			if dm.Bandwidth > 0 && b > 0 {
+				t = float64(b) * bytesFactor / dm.Bandwidth
+			}
+		} else {
+			l := dm.Links[i]
+			t = l.Latency * latHops
+			bw := l.Bandwidth
+			if bw == 0 {
+				bw = dm.Bandwidth
+			}
+			if bw > 0 && b > 0 {
+				t += float64(b) * bytesFactor / bw
+			}
+		}
+		if scale != nil {
+			t *= scale[i]
+		}
+		if times != nil {
+			times[i] = t
+		}
+		if t > slow {
+			slow = t
+		}
+	}
+	return (d + slow) * dm.Scale.Factor(dm.M)
+}
+
+// SampleDEdgeScheduleFaultyInto is SampleDEdgeScheduleInto under a fault
+// mask: a down endpoint deactivates every edge touching it (the induced
+// active subgraph is what the gossip engine prices), and scale[i]
+// multiplies node i's outgoing transfer times. With both nil it delegates
+// bit-identically to the legacy method; with no EdgeLinks table it
+// delegates to the per-worker faulty path. One D0 draw either way.
+func (dm *Model) SampleDEdgeScheduleFaultyInto(r *rng.Rand, bytesPerWorker []int, adj [][]int, latHops, bytesFactor float64, down []bool, scale []float64, times []float64) float64 {
+	if down == nil && scale == nil {
+		return dm.SampleDEdgeScheduleInto(r, bytesPerWorker, adj, latHops, bytesFactor, times)
+	}
+	if adj == nil || dm.EdgeLinks == nil {
+		return dm.SampleDScheduleFaultyInto(r, bytesPerWorker, latHops, bytesFactor, down, scale, times)
+	}
+	dm.checkScheduleWidth(len(bytesPerWorker))
+	if len(adj) < len(bytesPerWorker) {
+		panic(fmt.Sprintf("delaymodel: schedule for %d workers over a %d-node adjacency", len(bytesPerWorker), len(adj)))
+	}
+	d := dm.D0.Sample(r) * latHops
+	slow := 0.0
+	for i, b := range bytesPerWorker {
+		if down != nil && down[i] {
+			if times != nil {
+				times[i] = 0
+			}
+			continue
+		}
+		wt := 0.0
+		for _, j := range adj[i] {
+			if down != nil && down[j] {
+				continue
+			}
+			l, ok := dm.EdgeLinks[Edge{From: i, To: j}]
+			if !ok && dm.Links != nil {
+				l = dm.Links[i]
+			}
+			bw := l.Bandwidth
+			if bw == 0 && dm.Links != nil {
+				bw = dm.Links[i].Bandwidth
+			}
+			if bw == 0 {
+				bw = dm.Bandwidth
+			}
+			t := l.Latency * latHops
+			if bw > 0 && b > 0 {
+				t += float64(b) * bytesFactor / bw
+			}
+			if t > wt {
+				wt = t
+			}
+		}
+		if scale != nil {
+			wt *= scale[i]
 		}
 		if times != nil {
 			times[i] = wt
@@ -484,6 +614,9 @@ func (dm *Model) SampleTransfer(r *rng.Rand, worker, bytes int) float64 {
 	d := dm.D0.Sample(r)
 	bw := dm.Bandwidth
 	if dm.Links != nil {
+		if worker < 0 || worker >= len(dm.Links) {
+			panic(fmt.Sprintf("delaymodel: transfer for worker %d but only %d links (Links must cover every worker)", worker, len(dm.Links)))
+		}
 		l := dm.Links[worker]
 		d += l.Latency
 		if l.Bandwidth > 0 {

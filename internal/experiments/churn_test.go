@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestChurnAblation is the acceptance pin for the fault subsystem: under 20%
+// mid-run crash-recover churn plus drops, every strategy (barrier, gossip,
+// elastic, event-driven, parameter server) completes its budget with a finite
+// loss and a defined time-to-target — no deadlocks, no stalls on the
+// departed. Paired fault-free rows bound the degradation.
+func TestChurnAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn ablation runs every strategy twice")
+	}
+	spec := DefaultChurnSpec(ScaleQuick)
+	target, rows := ChurnAblation(spec)
+	if !(target > 0) {
+		t.Fatalf("target %v", target)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("%d rows, want 14 (7 methods x clean/churn)", len(rows))
+	}
+	byName := map[string]LinkAwareRow{}
+	for _, r := range rows {
+		if math.IsNaN(r.FinalLoss) || math.IsInf(r.FinalLoss, 0) {
+			t.Errorf("%s: final loss %v", r.Method, r.FinalLoss)
+		}
+		if math.IsNaN(r.TimeToTarget) || r.TimeToTarget < 0 {
+			t.Errorf("%s: time-to-target %v undefined", r.Method, r.TimeToTarget)
+		}
+		byName[r.Method] = r
+	}
+	// Every churned method has its clean twin, and churn can only slow the
+	// march to target, never corrupt it: the churned row still reaches the
+	// shared loss level within the budget.
+	for name, r := range byName {
+		if strings.HasSuffix(name, "+churn") {
+			if _, ok := byName[strings.TrimSuffix(name, "+churn")]; !ok {
+				t.Errorf("%s has no fault-free twin", name)
+			}
+			if r.TimeToTarget > spec.TimeBudget {
+				t.Errorf("%s: time-to-target %v exceeds budget %v", name, r.TimeToTarget, spec.TimeBudget)
+			}
+		}
+	}
+}
+
+func TestChurnAblationRejectsBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted malformed fault spec")
+		}
+	}()
+	spec := DefaultChurnSpec(ScaleQuick)
+	spec.Faults = "crash:bogus"
+	ChurnAblation(spec)
+}

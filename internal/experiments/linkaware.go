@@ -162,10 +162,10 @@ func LinkAwareAdaSyncAblation(scale Scale) (float64, []LinkAwareRow) {
 // PrintLinkAware renders either ablation's rows.
 func PrintLinkAware(w io.Writer, header string, target float64, rows []LinkAwareRow) {
 	fmt.Fprintf(w, "== %s (time to loss %.5f) ==\n", header, target)
-	fmt.Fprintf(w, "%-14s %12s %12s %11s %8s %9s\n",
+	fmt.Fprintf(w, "%-20s %12s %12s %11s %8s %9s\n",
 		"method", "final loss", "min loss", "t(target)", "iters", "final tau")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-14s %12.5f %12.5f %11.1f %8d %9d\n",
+		fmt.Fprintf(w, "%-20s %12.5f %12.5f %11.1f %8d %9d\n",
 			r.Method, r.FinalLoss, r.MinLoss, r.TimeToTarget, r.Iters, r.FinalTau)
 	}
 }

@@ -172,6 +172,89 @@ func build(name string, adj [][]int, mixOrder [][]int) *Graph {
 	return g
 }
 
+// Subgraph returns the induced subgraph on the active node set: edges
+// between two active nodes survive in the parent's order, every inactive
+// node is isolated — degree 0, whose exact-identity mixing semantics the
+// gossip engines already honor — and node indices are PRESERVED, so
+// replica arrays and delay-model tables need no remapping. Mix orders are
+// the parent's rows filtered to the active members, keeping survivor
+// arithmetic as close to the parent's accumulation order as the
+// membership change allows; Metropolis weights are re-derived for the new
+// degrees.
+//
+// The spectral gap is estimated over the ACTIVE block only: isolated
+// nodes contribute identity rows whose eigenvalue 1 would otherwise pin
+// lambda_2 and report a closed gap for a subgraph that mixes perfectly
+// well among survivors. A disconnected induced subgraph is legal (gossip
+// mixes within components); its active-block gap is then near 0, which
+// AdaptiveGamma maps to the damped floor.
+func (g *Graph) Subgraph(active []bool) *Graph {
+	if len(active) != g.n {
+		panic(fmt.Sprintf("graph: %s active mask covers %d of %d nodes", g.name, len(active), g.n))
+	}
+	nActive := 0
+	for _, up := range active {
+		if up {
+			nActive++
+		}
+	}
+	adj := make([][]int, g.n)
+	mix := make([][]int, g.n)
+	for i := range adj {
+		if !active[i] {
+			mix[i] = []int{i}
+			continue
+		}
+		row := make([]int, 0, len(g.adj[i]))
+		for _, j := range g.adj[i] {
+			if active[j] {
+				row = append(row, j)
+			}
+		}
+		adj[i] = row
+		mrow := make([]int, 0, len(g.mix[i]))
+		for _, o := range g.mix[i] {
+			if o == i || active[o] {
+				mrow = append(mrow, o)
+			}
+		}
+		mix[i] = mrow
+	}
+	sub := build(fmt.Sprintf("%s/active=%d", g.name, nActive), adj, mix)
+	sub.gap = activeBlockGap(adj, active, nActive)
+	return sub
+}
+
+// activeBlockGap estimates the spectral gap of the mixing matrix
+// restricted to the active nodes, by compacting them into a standalone
+// graph (indices renumbered 0..nActive-1) and reusing the construction
+// estimator. Degenerate blocks (zero or one node) mix trivially: gap 1.
+func activeBlockGap(adj [][]int, active []bool, nActive int) float64 {
+	if nActive <= 1 {
+		return 1
+	}
+	idx := make([]int, len(adj))
+	k := 0
+	for i, up := range active {
+		if up {
+			idx[i] = k
+			k++
+		}
+	}
+	cadj := make([][]int, 0, nActive)
+	for i, up := range active {
+		if !up {
+			continue
+		}
+		row := make([]int, 0, len(adj[i]))
+		for _, j := range adj[i] {
+			row = append(row, idx[j])
+		}
+		cadj = append(cadj, row)
+	}
+	return build("active-block", cadj, nil).gap
+}
+
 // checkSimpleSymmetric panics if the adjacency is not a simple undirected
 // graph: self-loops, duplicate neighbors, out-of-range ids, or asymmetric
 // edges are constructor bugs, not runtime conditions.

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubgraphInducedStructure(t *testing.T) {
+	g := Ring(6)
+	active := []bool{true, true, false, true, true, true}
+	sub := g.Subgraph(active)
+
+	if sub.N() != 6 {
+		t.Fatalf("indices must be preserved: N = %d", sub.N())
+	}
+	if sub.Degree(2) != 0 {
+		t.Fatalf("inactive node degree %d, want 0", sub.Degree(2))
+	}
+	// Node 2's former neighbors lose that edge but keep the rest of the
+	// ring.
+	wantAdj := map[int][]int{0: {5, 1}, 1: {0}, 3: {4}, 4: {3, 5}, 5: {4, 0}}
+	for i, want := range wantAdj {
+		got := sub.Neighbors(i)
+		if len(got) != len(want) {
+			t.Fatalf("node %d neighbors %v, want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("node %d neighbors %v, want %v (parent order)", i, got, want)
+			}
+		}
+	}
+	// Mix orders are the parent's rows filtered to active members: no row
+	// may reference the inactive node.
+	for i := 0; i < 6; i++ {
+		if !active[i] {
+			continue
+		}
+		for _, o := range sub.MixOrder(i) {
+			if !active[o] {
+				t.Fatalf("node %d mix order references inactive %d", i, o)
+			}
+		}
+	}
+	// The isolated node's mix row is the exact identity.
+	if mo := sub.MixOrder(2); len(mo) != 1 || mo[0] != 2 {
+		t.Fatalf("isolated mix order %v", mo)
+	}
+}
+
+func TestSubgraphWeightsRederived(t *testing.T) {
+	// Removing one node from a complete graph leaves a smaller complete
+	// graph; every surviving row must be doubly stochastic over survivors.
+	g := Complete(5)
+	active := []bool{true, true, true, true, false}
+	sub := g.Subgraph(active)
+	for i := 0; i < 4; i++ {
+		order := sub.MixOrder(i)
+		total := 0.0
+		if ws := sub.MixWeights(i); ws == nil {
+			total = 1 // uniform row
+		} else {
+			for _, w := range ws {
+				total += w
+			}
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Fatalf("node %d row mass %v (order %v)", i, total, order)
+		}
+	}
+}
+
+func TestSubgraphActiveBlockGap(t *testing.T) {
+	// The full active set reproduces the parent's connectivity: a ring of 6
+	// with one node down still mixes among the 5-path survivors, so the gap
+	// must be positive — the isolated node's identity row must NOT pin it
+	// to zero... and a fully-up mask changes nothing.
+	g := Ring(6)
+	allUp := []bool{true, true, true, true, true, true}
+	if gap := g.Subgraph(allUp).SpectralGap(); math.Abs(gap-g.SpectralGap()) > 1e-9 {
+		t.Fatalf("all-up subgraph gap %v, parent %v", gap, g.SpectralGap())
+	}
+	one := g.Subgraph([]bool{true, true, false, true, true, true})
+	if gap := one.SpectralGap(); !(gap > 0) {
+		t.Fatalf("survivor path gap %v, want > 0", gap)
+	}
+	// Two opposite nodes down disconnect the ring into two components: the
+	// active-block gap collapses toward 0 and AdaptiveGamma damps to its
+	// floor.
+	split := g.Subgraph([]bool{true, false, true, true, false, true})
+	if gap := split.SpectralGap(); gap > 0.05 {
+		t.Fatalf("disconnected block gap %v, want ~0", gap)
+	}
+	if gamma := AdaptiveGamma(split.SpectralGap()); gamma > 0.3 {
+		t.Fatalf("disconnected gamma %v, want damped", gamma)
+	}
+	// A single survivor mixes trivially.
+	solo := g.Subgraph([]bool{false, false, true, false, false, false})
+	if solo.SpectralGap() != 1 {
+		t.Fatalf("single-survivor gap %v, want 1", solo.SpectralGap())
+	}
+}
+
+func TestSubgraphRejectsWrongMask(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("accepted short mask")
+		}
+	}()
+	Ring(4).Subgraph([]bool{true, true})
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/delaymodel"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/rng"
@@ -147,7 +148,19 @@ type Config struct {
 	// EvalEvery records a trace point every EvalEvery server updates.
 	EvalEvery  int
 	EvalSubset int
-	Seed       uint64
+	// Faults optionally injects a seeded crash/churn/slow-down schedule
+	// (internal/faults), keyed by the SERVER VERSION. Down workers are
+	// parked (not dispatched) and arrivals from workers that went down
+	// mid-compute are discarded; a recovered worker is redispatched at the
+	// next round, and its dispatch-time model pull — delta-compressed
+	// against its last pulled reconstruction when PullCompress is set — IS
+	// the rejoin reconciliation, no extra machinery needed. Slow-down
+	// episodes and drop-retries multiply the affected worker's transfer
+	// terms. When every worker is down the event queue drains and Run
+	// returns cleanly. nil keeps the protocol byte-for-byte identical to
+	// the fault-free server.
+	Faults *faults.Schedule
+	Seed   uint64
 }
 
 func (c Config) validate() error {
@@ -170,6 +183,7 @@ func (c Config) validate() error {
 			return err
 		}
 	}
+	// Faults.Validate needs the worker count, so New performs it.
 	return nil
 }
 
@@ -239,6 +253,13 @@ type Server struct {
 	pullDelta     []float64
 	pullBuf       []float64
 	lastPullBytes int
+
+	// Fault state, allocated only when cfg.Faults.Enabled() (fltDown == nil
+	// is the fault-free sentinel): fltDown is the version-keyed down mask
+	// and inflight tracks which workers have a queued completion event, so
+	// recovered workers can be told apart from busy ones at redispatch time.
+	fltDown  []bool
+	inflight []bool
 }
 
 // New builds a server over m shards of the training set.
@@ -312,6 +333,15 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval *data.Dataset, cfg
 		}
 		s.pullDelta = make([]float64, dim)
 		s.pullBuf = make([]float64, dim)
+	}
+	// Fault state last; it consumes no RNG, so attaching a schedule cannot
+	// shift any existing stream.
+	if cfg.Faults.Enabled() {
+		if err := cfg.Faults.Validate(s.m); err != nil {
+			return nil, err
+		}
+		s.fltDown = make([]bool, s.m)
+		s.inflight = make([]bool, s.m)
 	}
 	return s, nil
 }
@@ -401,6 +431,18 @@ func (s *Server) dispatch(i int) {
 		dur += wt
 		transfer += wt
 	}
+	if s.fltDown != nil {
+		// Slow-down episodes and drop-retries multiply the transfer terms
+		// only (compute and push-delay draws already happened, keeping the
+		// streams aligned with the fault-free run).
+		f := s.cfg.Faults.LinkScale(i, s.version) *
+			float64(1+s.cfg.Faults.Retries(s.cfg.Seed, s.version, i))
+		if f != 1 {
+			dur += transfer * (f - 1)
+			transfer *= f
+		}
+		s.inflight[i] = true
+	}
 	s.linkTimes[i] = transfer
 	s.seq++
 	heap.Push(&s.queue, event{at: s.clock + dur, worker: i, seq: s.seq})
@@ -458,6 +500,9 @@ func (s *Server) Run(ctrl Controller, traceName string) (*metrics.Trace, rng.Sum
 	nextEval := s.cfg.EvalEvery
 
 	for i := range s.workers {
+		if s.fltDown != nil && s.cfg.Faults.Down(i, 0) {
+			continue // down at start: parked until recovery
+		}
 		s.dispatch(i)
 	}
 
@@ -468,6 +513,20 @@ func (s *Server) Run(ctrl Controller, traceName string) (*metrics.Trace, rng.Sum
 		if s.cfg.MaxTime > 0 && s.clock >= s.cfg.MaxTime {
 			break
 		}
+		if s.fltDown != nil {
+			// Refresh the version-keyed membership view and redispatch
+			// recovered idle workers: their dispatch-time model pull is the
+			// rejoin reconciliation (delta-compressed under PullCompress).
+			for i := range s.workers {
+				s.fltDown[i] = s.cfg.Faults.Down(i, s.version)
+				if !s.fltDown[i] && !s.inflight[i] {
+					s.dispatch(i)
+				}
+			}
+			if len(s.queue) == 0 {
+				break // every worker is down: terminate cleanly
+			}
+		}
 		k, lr := ctrl.Next(RoundInfo{Time: s.clock, Version: s.version, LinkTimes: s.linkTimes}, evalLoss)
 		if k < 1 {
 			k = 1
@@ -476,45 +535,82 @@ func (s *Server) Run(ctrl Controller, traceName string) (*metrics.Trace, rng.Sum
 			k = s.m
 		}
 
+		stalled := false
 		switch s.cfg.Mode {
 		case KSync:
 			// All workers are computing at the current version. Take the
 			// fastest K arrivals, cancel the rest, update, redispatch all.
+			// Under faults, arrivals from workers that went down mid-compute
+			// are discarded, and K is effectively clamped to the surviving
+			// queue.
 			grads := make([][]float64, 0, k)
 			var last float64
-			for len(grads) < k {
+			for len(grads) < k && len(s.queue) > 0 {
 				ev := heap.Pop(&s.queue).(event)
+				if s.fltDown != nil {
+					s.inflight[ev.worker] = false
+					if s.fltDown[ev.worker] {
+						continue // crashed mid-compute: gradient lost
+					}
+				}
 				last = ev.at
 				g := append([]float64(nil), s.computeGradient(ev.worker)...)
 				grads = append(grads, g)
 			}
+			if len(grads) == 0 {
+				stalled = true // queue drained with nothing applicable
+				break
+			}
 			s.clock = last
 			s.applyUpdate(grads, lr)
-			// Cancel stragglers: clear the queue and restart everyone at
-			// the new model.
+			// Cancel stragglers: clear the queue and restart everyone (every
+			// survivor, under faults) at the new model.
 			s.queue = s.queue[:0]
+			if s.inflight != nil {
+				for i := range s.inflight {
+					s.inflight[i] = false
+				}
+			}
 			for i := range s.workers {
+				if s.fltDown != nil && s.fltDown[i] {
+					continue
+				}
 				s.dispatch(i)
 			}
 
 		case KAsync:
 			// Collect the next K arrivals (whatever version they computed
-			// on), update once, and redispatch only those workers.
+			// on), update once, and redispatch only those workers. A down
+			// worker's arrival is discarded (the clock still advances — the
+			// server waited for it) and the worker stays parked.
 			grads := make([][]float64, 0, k)
 			arrived := make([]int, 0, k)
-			for len(grads) < k {
+			for len(grads) < k && len(s.queue) > 0 {
 				ev := heap.Pop(&s.queue).(event)
 				s.clock = ev.at
+				if s.fltDown != nil {
+					s.inflight[ev.worker] = false
+					if s.fltDown[ev.worker] {
+						continue
+					}
+				}
 				w := s.workers[ev.worker]
 				g := append([]float64(nil), s.computeGradient(ev.worker)...)
 				grads = append(grads, g)
 				staleSamples = append(staleSamples, float64(s.version-w.version))
 				arrived = append(arrived, ev.worker)
 			}
+			if len(grads) == 0 {
+				stalled = true
+				break
+			}
 			s.applyUpdate(grads, lr)
 			for _, i := range arrived {
 				s.dispatch(i)
 			}
+		}
+		if stalled {
+			break // no survivor can contribute; Run returns cleanly
 		}
 
 		if s.version >= nextEval {
