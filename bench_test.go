@@ -21,8 +21,8 @@ import (
 	"repro/internal/delaymodel"
 	"repro/internal/experiments"
 	"repro/internal/nn"
+	optpkg "repro/internal/opt"
 	"repro/internal/rng"
-	"repro/internal/sgd"
 	"repro/internal/tensor"
 )
 
@@ -202,7 +202,7 @@ func benchModelStep(b *testing.B, net *nn.Network, dim int) {
 		batch.Y[i] = r.Intn(4)
 	}
 	grad := make([]float64, net.ParamLen())
-	opt := sgd.NewOptimizer(sgd.Config{LR: 0.05})
+	opt := optpkg.New(optpkg.Config{LR: 0.05}, net.ParamLen())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -21,11 +21,16 @@
 //	adacomm -arch logistic -method fixed -async -participation 6 -workers 8 -link-aware
 //	adacomm -arch logistic -method adacomm -faults "blip:1@r10-20,crash:2@r40,drop:0.05"
 //	adacomm -arch logistic -method fixed -async -participation 6 -workers 8 -faults "slow:3x4@r10-30"
+//	adacomm -arch logistic -method fixed -tau 5 -optimizer adam -adam-beta2 0.99
+//	adacomm -arch logistic -method fixed -tau 5 -optimizer adam+synced -strategy ring -compress identity+f32
+//	adacomm -arch logistic -method fixed -tau 5 -optimizer momentum:0.9 -global-momentum 0.1
+//	adacomm -arch logistic -method fixed -async -participation 6 -workers 8 -optimizer momentum:0.9
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/cluster"
@@ -36,6 +41,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/opt"
 	"repro/internal/sgd"
 	"repro/internal/tensor"
 )
@@ -54,6 +60,12 @@ func main() {
 	batch := flag.Int("batch", 16, "per-worker mini-batch size")
 	momentum := flag.Float64("momentum", 0, "local momentum factor")
 	blockMomentum := flag.Float64("block-momentum", 0, "global block momentum factor")
+	optimizerFlag := flag.String("optimizer", "",
+		"local update rule (internal/opt); forms: "+opt.Forms()+"; empty = plain SGD (excludes the legacy -momentum shorthand)")
+	adamBeta2 := flag.Float64("adam-beta2", 0,
+		"second-moment decay beta2 for the adam/adamw forms of -optimizer (0 = default 0.999)")
+	globalMomentum := flag.Float64("global-momentum", 0,
+		"SlowMo-style slow momentum filtering every sync point under any strategy (0 = off; excludes -block-momentum)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	compressFlag := flag.String("compress", "none",
@@ -123,6 +135,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adacomm: %v\n", err)
 		os.Exit(2)
 	}
+	optCfg, err := opt.Parse(*optimizerFlag)
+	if err != nil {
+		// opt.Parse errors already enumerate the valid forms.
+		fmt.Fprintf(os.Stderr, "adacomm: -optimizer: %v\n", err)
+		os.Exit(2)
+	}
+	if *adamBeta2 != 0 {
+		if !optCfg.Adaptive() {
+			fmt.Fprintln(os.Stderr, "adacomm: -adam-beta2 tunes the second-moment decay; it needs an adam/adamw -optimizer")
+			os.Exit(2)
+		}
+		if math.IsNaN(*adamBeta2) || *adamBeta2 <= 0 || *adamBeta2 >= 1 {
+			fmt.Fprintf(os.Stderr, "adacomm: -adam-beta2 %g outside (0, 1)\n", *adamBeta2)
+			os.Exit(2)
+		}
+		optCfg.Beta2 = *adamBeta2
+	}
 	if *bandwidth < 0 {
 		fmt.Fprintf(os.Stderr, "adacomm: -bandwidth %g must be >= 0 (0 = infinite)\n", *bandwidth)
 		os.Exit(2)
@@ -171,8 +200,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "adacomm: -edge-links prices gossip graph rounds; not available with -async")
 		case *adaptGossipGamma:
 			fmt.Fprintln(os.Stderr, "adacomm: -adapt-gossip-gamma needs -strategy ring; not available with -async")
-		case *momentum != 0 || *blockMomentum != 0:
-			fmt.Fprintln(os.Stderr, "adacomm: -async does not support momentum (local state defeats client sharding)")
+		case *blockMomentum != 0 || *globalMomentum != 0:
+			fmt.Fprintln(os.Stderr, "adacomm: -async has no sync barrier for block/global momentum to filter")
+		case *momentum != 0 && !optCfg.IsZero():
+			fmt.Fprintln(os.Stderr, "adacomm: set -momentum or -optimizer, not both")
 		case *variableLR:
 			fmt.Fprintln(os.Stderr, "adacomm: -async uses a constant learning rate; -variable-lr does not apply")
 		case *clients < 0:
@@ -180,12 +211,18 @@ func main() {
 		case *participation < 0:
 			fmt.Fprintf(os.Stderr, "adacomm: -participation %d must be >= 0\n", *participation)
 		default:
+			if *momentum != 0 {
+				// The legacy shorthand maps onto the optimizer layer; the
+				// engine itself rejects adaptive rules (their per-client
+				// state would defeat client sharding).
+				optCfg = opt.Config{Rule: opt.RuleMomentum, Momentum: *momentum}
+			}
 			runAsync(asyncOpts{
 				arch: *arch, classes: *classes, clients: *clients, workers: *workers,
 				participation: *participation, tau: *tau, batch: *batch, lr: *lr,
 				budget: *budget, seed: *seed, quick: *quick, spec: spec,
 				bandwidth: *bandwidth, links: *linksFlag, linkAware: *linkAware,
-				faults: fsched,
+				faults: fsched, opt: optCfg,
 			})
 			return
 		}
@@ -233,6 +270,8 @@ func main() {
 		BatchSize:        *batch,
 		Momentum:         *momentum,
 		BlockMomentum:    *blockMomentum,
+		Opt:              optCfg,
+		GlobalMomentum:   *globalMomentum,
 		MaxTime:          *budget,
 		EvalEvery:        100,
 		EvalSubset:       512,
@@ -315,6 +354,7 @@ type asyncOpts struct {
 	links         string
 	linkAware     bool
 	faults        *faults.Schedule
+	opt           opt.Config
 }
 
 // runAsync builds and runs the event-driven engine: -clients shards
@@ -349,6 +389,7 @@ func runAsync(o asyncOpts) {
 		Tau:           o.tau,
 		BatchSize:     o.batch,
 		LR:            o.lr,
+		Opt:           o.opt,
 		MaxTime:       o.budget,
 		EvalEvery:     100,
 		EvalSubset:    512,

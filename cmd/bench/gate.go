@@ -27,6 +27,7 @@ var pinnedKernels = []string{
 	"Gemm256/blocked",
 	"StepVGGNano",
 	"StepResNetNano",
+	"AdamStep/64k",
 }
 
 // ratioFloor is the minimum intra-run speedup of the blocked Gemm over the

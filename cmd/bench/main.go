@@ -49,8 +49,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/nn"
+	optpkg "repro/internal/opt"
 	"repro/internal/rng"
-	"repro/internal/sgd"
 	"repro/internal/tensor"
 )
 
@@ -151,10 +151,44 @@ func stepSetup(net *nn.Network, dim int) func() {
 		batch.Y[i] = r.Intn(4)
 	}
 	grad := make([]float64, net.ParamLen())
-	opt := sgd.NewOptimizer(sgd.Config{LR: 0.05})
+	opt := optpkg.New(optpkg.Config{LR: 0.05}, net.ParamLen())
 	return func() {
 		net.LossGrad(batch, grad)
 		opt.Step(net.Params(), grad)
+	}
+}
+
+// adamStepSetup times the optimizer layer's hot loop in isolation: one
+// Local Adam update (first/second moment EMAs plus the bias-corrected
+// step) on a flat 64k-parameter vector. Allocation-free after the arena
+// fill, single-threaded, so it joins the pinned ns/op kernels.
+func adamStepSetup(dim int) func() {
+	params := make([]float64, dim)
+	grad := make([]float64, dim)
+	r := rng.New(11)
+	for i := range params {
+		params[i] = r.NormFloat64()
+		grad[i] = r.NormFloat64()
+	}
+	o := optpkg.New(optpkg.Config{Rule: optpkg.RuleAdam, LR: 0.001}, dim)
+	return func() { o.Step(params, grad) }
+}
+
+// globalMomentumSetup times one full-averaging round with the SlowMo stack
+// active: heavy-ball local updates, the shared global-momentum filter at
+// the sync point. Steady state must stay allocation-free like the plain
+// PASGD round — the filter's buffer is engine-owned.
+func globalMomentumSetup() func() {
+	w := experiments.BuildWorkload(experiments.ArchLogistic, 4, 4, experiments.ScaleQuick, 3)
+	e := w.Engine(cluster.Config{
+		BatchSize: 8, MaxIters: 1 << 30, EvalEvery: 1 << 30,
+		ComputeWorkers: 1, Seed: 4,
+		Opt:            optpkg.Config{Rule: optpkg.RuleMomentum, Momentum: 0.9},
+		GlobalMomentum: 0.5,
+	})
+	return func() {
+		e.StepLocal(10, 0.1)
+		e.SyncNow()
 	}
 }
 
@@ -333,8 +367,10 @@ func main() {
 		{"Gemm256/blocked-par4", 30, func() func() { return gemm256Setup(false, 4) }},
 		{"StepVGGNano", 0, func() func() { return stepSetup(nn.NewVGGNano(shape, 4), shape.Len()) }},
 		{"StepResNetNano", 0, func() func() { return stepSetup(nn.NewResNetNano(shape, 4), shape.Len()) }},
+		{"AdamStep/64k", 0, func() func() { return adamStepSetup(1 << 16) }},
 		{"PASGDRound/serial", 0, func() func() { return pasgdSetup(1) }},
 		{"PASGDRound/pool4", 0, func() func() { return pasgdSetup(4) }},
+		{"GlobalMomentumRound", 0, func() func() { return globalMomentumSetup() }},
 		{"RingGossipRound/raw", 0, func() func() {
 			return strategySetup(cluster.RingGossip, compress.Spec{})
 		}},

@@ -17,6 +17,8 @@
 //	figures -topology       # mixing-topology ablation under a slow edge
 //	figures -churn          # fault-injection ablation (crash/recover/drop churn)
 //	figures -churn -faults "blip:0@r8-20,drop:0.1"  # ... with a custom schedule
+//	figures -optimizer      # local-update-rule ablation (SGD/momentum/Adam/SlowMo)
+//	figures -optimizer -adam-beta2 0.99 -global-momentum 0.2  # ... tuned rows
 //
 // Each figure's methods are independent training runs, so they execute
 // concurrently on the experiment pool (default width GOMAXPROCS); the
@@ -67,6 +69,12 @@ func main() {
 		"run the churn ablation (every strategy fault-free and under crash-recover churn plus drops) instead of the paper figures")
 	faultsFlag := flag.String("faults", "",
 		"with -churn: override the fault schedule, comma-separated events ("+faults.Forms+")")
+	optimizer := flag.Bool("optimizer", false,
+		"run the optimizer ablation (plain SGD / momentum / Nesterov / Local Adam / wire-synced Adam / SlowMo / norm-driven bit-width) instead of the paper figures")
+	adamBeta2 := flag.Float64("adam-beta2", 0,
+		"with -optimizer: second-moment decay beta2 of the Adam rows, in (0, 1) (0 = default 0.999)")
+	globalMomentum := flag.Float64("global-momentum", 0,
+		"with -optimizer: slow-momentum factor of the slowmo row, in (0, 1) (0 = default 0.1)")
 	wireFlag := flag.String("wire", "",
 		"with -gossip: wire precision (float64 | float32) of the compressed cells; alone, -wire float32 runs the float32-vs-float64 wire ablation")
 	kernelWorkers := flag.Int("kernel-workers", 1,
@@ -102,18 +110,44 @@ func main() {
 	}
 	out := os.Stdout
 	modes := 0
-	for _, on := range []bool{*gossip, *async, *topology, *churn} {
+	for _, on := range []bool{*gossip, *async, *topology, *churn, *optimizer} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "figures: -gossip, -async, -topology, and -churn are separate ablations; pick one")
+		fmt.Fprintln(os.Stderr, "figures: -gossip, -async, -topology, -churn, and -optimizer are separate ablations; pick one")
 		os.Exit(2)
 	}
 	if *faultsFlag != "" && !*churn {
 		fmt.Fprintln(os.Stderr, "figures: -faults overrides the churn schedule; it requires -churn")
 		os.Exit(2)
+	}
+	if (*adamBeta2 != 0 || *globalMomentum != 0) && !*optimizer {
+		fmt.Fprintln(os.Stderr, "figures: -adam-beta2 and -global-momentum tune the optimizer ablation; they require -optimizer")
+		os.Exit(2)
+	}
+	if *optimizer {
+		if *fig != 0 || *table != 0 || *bytes != 0 || *csvDir != "" || *wireFlag != "" {
+			fmt.Fprintln(os.Stderr, "figures: -optimizer runs only the optimizer ablation; it cannot combine with -fig/-table/-bytes/-csv/-wire")
+			os.Exit(2)
+		}
+		if *adamBeta2 != 0 && !(*adamBeta2 > 0 && *adamBeta2 < 1) {
+			fmt.Fprintf(os.Stderr, "figures: -adam-beta2 %g outside (0, 1)\n", *adamBeta2)
+			os.Exit(2)
+		}
+		if *globalMomentum != 0 && !(*globalMomentum > 0 && *globalMomentum < 1) {
+			fmt.Fprintf(os.Stderr, "figures: -global-momentum %g outside (0, 1)\n", *globalMomentum)
+			os.Exit(2)
+		}
+		spec := experiments.DefaultOptimizerSpec(scale)
+		spec.AdamBeta2 = *adamBeta2
+		if *globalMomentum != 0 {
+			spec.GlobalMomentum = *globalMomentum
+		}
+		target, rows := experiments.OptimizerAblation(spec)
+		experiments.PrintLinkAware(out, "local update rules (internal/opt)", target, rows)
+		return
 	}
 	if *churn {
 		if *fig != 0 || *table != 0 || *bytes != 0 || *csvDir != "" || *wireFlag != "" {

@@ -17,6 +17,8 @@
 //	sweep -ablation topology # mixing graphs under a per-edge straggler
 //	sweep -ablation churn    # every strategy under crash-recover churn + drops
 //	sweep -ablation churn -faults "blip:0@r8-20,drop:0.1"  # ... custom schedule
+//	sweep -ablation optimizer # local update rules: SGD/momentum/Adam/SlowMo
+//	sweep -ablation optimizer -adam-beta2 0.99 -global-momentum 0.2
 //	sweep -ablation all
 //
 // Grid cells are independent configurations and run concurrently on the
@@ -36,7 +38,7 @@ import (
 )
 
 func main() {
-	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | async | wire | topology | churn | all")
+	which := flag.String("ablation", "all", "tau0 | gamma | coupling | t0 | delay | strategy | adasync | gossip | async | wire | topology | churn | optimizer | all")
 	quick := flag.Bool("quick", false, "use reduced sizes")
 	workers := flag.Int("workers", 0,
 		"concurrent experiment configurations per grid (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
@@ -46,6 +48,10 @@ func main() {
 		"goroutines the tensor kernels may fan output-row panels across (bit-identical results at any setting; >1 oversubscribes when the experiment pool is already saturated)")
 	faultsFlag := flag.String("faults", "",
 		"override the churn ablation's fault schedule, comma-separated events ("+faults.Forms+"); only meaningful with -ablation churn or all")
+	adamBeta2 := flag.Float64("adam-beta2", 0,
+		"second-moment decay beta2 of the optimizer ablation's Adam rows, in (0, 1); only meaningful with -ablation optimizer or all (0 = default 0.999)")
+	globalMomentum := flag.Float64("global-momentum", 0,
+		"slow-momentum factor of the optimizer ablation's slowmo row, in (0, 1); only meaningful with -ablation optimizer or all (0 = default 0.1)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -68,6 +74,18 @@ func main() {
 	// all has burned through the earlier tables.
 	if _, err := faults.Parse(*faultsFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(2)
+	}
+	if (*adamBeta2 != 0 || *globalMomentum != 0) && *which != "optimizer" && *which != "all" {
+		fmt.Fprintf(os.Stderr, "sweep: -adam-beta2 and -global-momentum only tune the optimizer ablation; -ablation %s ignores them (use -ablation optimizer or all)\n", *which)
+		os.Exit(2)
+	}
+	if *adamBeta2 != 0 && !(*adamBeta2 > 0 && *adamBeta2 < 1) {
+		fmt.Fprintf(os.Stderr, "sweep: -adam-beta2 %g outside (0, 1)\n", *adamBeta2)
+		os.Exit(2)
+	}
+	if *globalMomentum != 0 && !(*globalMomentum > 0 && *globalMomentum < 1) {
+		fmt.Fprintf(os.Stderr, "sweep: -global-momentum %g outside (0, 1)\n", *globalMomentum)
 		os.Exit(2)
 	}
 	if *kernelWorkers < 1 {
@@ -146,6 +164,16 @@ func main() {
 		}
 		target, rows := experiments.ChurnAblation(spec)
 		experiments.PrintLinkAware(out, "strategies under crash-recover churn", target, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *which == "optimizer" {
+		spec := experiments.DefaultOptimizerSpec(scale)
+		spec.AdamBeta2 = *adamBeta2
+		if *globalMomentum != 0 {
+			spec.GlobalMomentum = *globalMomentum
+		}
+		target, rows := experiments.OptimizerAblation(spec)
+		experiments.PrintLinkAware(out, "local update rules (internal/opt)", target, rows)
 		fmt.Fprintln(out)
 	}
 }

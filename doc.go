@@ -170,6 +170,35 @@
 // crash-recover churn plus drops every strategy completes without deadlock
 // and degrades gracefully on time-to-loss.
 //
+// Local update rules are a first-class layer: internal/opt defines the
+// Optimizer interface (Step, enumerable state vectors with per-vector sync
+// policies, SyncReset at averaging points) with plain SGD, heavy-ball and
+// Nesterov momentum, and Local Adam/AdamW; every engine — both lock-step
+// backends, the event-driven engine, and the parameter server — steps
+// through it (cluster.Config.Opt, AsyncConfig.Opt, -optimizer on the cmds;
+// zero values stay bit-identical to every pre-optimizer golden, and the
+// legacy Momentum/BlockMomentum shorthands map onto the layer bit for bit).
+// Adam's second moments are an ablation axis: worker-local, or SYNCED
+// through the averaging fabric (Opt.SyncedMoments) — synced vectors extend
+// every averaged payload from dim to dim+len(state), riding the SAME
+// compressed, narrowed, byte-priced CHOCO gossip messages the parameters
+// do, and rejoin reconciliation restores them so a recovered worker matches
+// a never-crashed one bit for bit, step clocks included. At sync points,
+// cluster.Config.GlobalMomentum generalizes BlockMomentum to every strategy
+// (SlowMo-style slow momentum: one shared buffer under full averaging,
+// per-node buffers under gossip/elastic, renormalized over the surviving
+// active set under churn); the async engine instead takes a SERVER-side
+// optimizer (AsyncConfig.ServerOpt, FedOpt-style — per-client adaptive
+// state is rejected as Theta(clients*dim)), as does the parameter server.
+// AdaComm's tau rule re-derives its eta coupling under momentum via the
+// effective learning rate eta/(1-beta), and the norm-decay width rule
+// (compress.NormDecayBits, shared by AdaCommCompress and AdaSync) grows a
+// QSGD quantizer one bit per halving of the observed gradient norm. The
+// optimizer ablation (cmd/figures -optimizer, cmd/sweep -ablation
+// optimizer, -adam-beta2/-global-momentum) puts every rule on one
+// error-runtime table, including a wire-synced-Adam row through CHOCO over
+// a float32 wire.
+//
 // Perf numbers are recorded per PR as BENCH_<n>.json via cmd/bench, and
 // CI gates on them: `go run ./cmd/bench -check BENCH_<n>.json` fails on
 // wall-clock regressions beyond a tolerance, on any allocs/op increase,

@@ -61,9 +61,9 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/opt"
 	"repro/internal/paramserver"
 	"repro/internal/rng"
-	"repro/internal/sgd"
 	"repro/internal/tensor"
 )
 
@@ -86,8 +86,28 @@ type AsyncConfig struct {
 	BatchSize int
 	LR        float64
 	// ServerLR scales the applied aggregate (0 defaults to 1): the update
-	// is x += ServerLR * (weighted mean of client deltas).
+	// is x += ServerLR * (weighted mean of client deltas). With ServerOpt
+	// set it becomes that optimizer's learning rate instead.
 	ServerLR float64
+
+	// Opt selects the clients' local update rule (internal/opt). The
+	// zero value is plain SGD at LR — bit-identical to the legacy engine.
+	// Stateful momentum rules are allowed: the state lives in the engine's
+	// single compute-slot optimizer and is activation-scoped (reset at each
+	// dispatch — a freshly sampled client has no history). Adaptive rules
+	// (Adam/AdamW) are rejected: meaningful Adam state must persist per
+	// client across activations, which is Theta(clients*dim) state — exactly
+	// what client sharding exists to avoid. Use ServerOpt for adaptivity.
+	Opt opt.Config
+
+	// ServerOpt optionally applies a server-side optimizer at aggregation
+	// (FedOpt, Reddi et al. 2021): the staleness-weighted mean client delta
+	// becomes the server's pseudo-gradient and ServerOpt's rule — including
+	// Adam — steps the global model with learning rate ServerLR. Server
+	// state is O(dim) regardless of the client count, so adaptivity lives
+	// where the memory contract allows it. The zero value keeps the legacy
+	// x += ServerLR * mean-delta arithmetic, bit for bit.
+	ServerOpt opt.Config
 
 	// StalenessPow shapes the staleness weights: a contribution based on a
 	// model s versions old is weighted (1+s)^-StalenessPow before
@@ -170,6 +190,20 @@ func (c AsyncConfig) validate(n int) error {
 	}
 	if math.IsNaN(c.LR) || math.IsInf(c.LR, 0) || c.LR <= 0 {
 		return fmt.Errorf("cluster: async lr %v (want finite > 0)", c.LR)
+	}
+	if err := c.Opt.Validate(); err != nil {
+		return err
+	}
+	if c.Opt.Adaptive() {
+		return fmt.Errorf("cluster: async engine does not support adaptive local rules " +
+			"(per-client Adam moments are Theta(clients*dim) state; client sharding exists to avoid it); " +
+			"use ServerOpt for adaptivity")
+	}
+	if err := c.ServerOpt.Validate(); err != nil {
+		return err
+	}
+	if c.ServerOpt.SyncedMoments {
+		return fmt.Errorf("cluster: server optimizer state is server-owned; synced moments do not apply")
 	}
 	if math.IsNaN(c.ServerLR) || math.IsInf(c.ServerLR, 0) || c.ServerLR < 0 {
 		return fmt.Errorf("cluster: server lr %v (want finite >= 0; 0 uses the default 1)", c.ServerLR)
@@ -267,7 +301,9 @@ type AsyncEngine struct {
 	comp compress.Compressor // shared: compression happens serially at dispatch
 
 	computeModel *nn.Network // THE materialized replica slot
-	opt          *sgd.Optimizer
+	opt          opt.Optimizer
+	srvOpt       opt.Optimizer // server-side FedOpt rule (nil = legacy scale)
+	srvGrad      []float64     // server pseudo-gradient scratch
 	deltaBuf     []float64
 	decodeBuf    []float64
 	aggBuf       []float64
@@ -348,7 +384,7 @@ func NewAsync(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.D
 		serverRng:    root.Split(),
 		com:          comm.New(comm.AllGather, n),
 		computeModel: proto.Clone(),
-		opt:          sgd.NewOptimizer(sgd.Config{}),
+		opt:          opt.New(cfg.Opt, proto.ParamLen()),
 		deltaBuf:     make([]float64, proto.ParamLen()),
 		decodeBuf:    make([]float64, proto.ParamLen()),
 		aggBuf:       make([]float64, proto.ParamLen()),
@@ -360,6 +396,10 @@ func NewAsync(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.D
 	}
 	if cfg.RecordEvents {
 		e.evlog = &events.Trace{}
+	}
+	if !cfg.ServerOpt.IsZero() {
+		e.srvOpt = opt.New(cfg.ServerOpt, e.dim)
+		e.srvGrad = make([]float64, e.dim)
 	}
 	e.slow = make([]float64, n)
 	for i := range e.slow {
@@ -410,6 +450,14 @@ func NewAsync(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.D
 	if e.pullBuf != nil {
 		e.stats.ScratchVectors++ // narrowed-pull buffer
 	}
+	if e.srvOpt != nil {
+		// Pseudo-gradient scratch plus the server rule's own state vectors:
+		// all O(dim), none per-client.
+		e.stats.ScratchVectors += 1 + len(e.srvOpt.State())
+	}
+	// The local rule's state (momentum buffer, if any) rides the single
+	// compute-slot optimizer — activation-scoped, never per-client.
+	e.stats.ScratchVectors += len(e.opt.State())
 	return e, nil
 }
 
@@ -556,9 +604,13 @@ func (e *AsyncEngine) dispatch(i int, t float64) {
 	e.stats.DownBytes += int64(e.com.Pull(i, downBytes).DownBytes)
 	downTime := e.delay.SampleTransfer(c.delayR, i, downBytes)
 
-	// Materialize + local work (the only replica ever materialized).
+	// Materialize + local work (the only replica ever materialized). The
+	// optimizer state is activation-scoped: a freshly sampled client has no
+	// history, so any momentum buffer restarts from zero (a no-op for the
+	// stateless plain rule).
 	e.computeModel.SetParams(pulled)
 	sampler := data.NewSampler(c.shard, e.cfg.BatchSize, c.model)
+	e.opt.ResetState()
 	e.opt.SetLR(e.cfg.LR)
 	for k := 0; k < e.cfg.Tau; k++ {
 		b := sampler.Next()
@@ -657,10 +709,25 @@ func (e *AsyncEngine) arrive(i int, t float64) (roundDone bool) {
 // version, and re-arms the arrival policy with this round's observed upload
 // times.
 func (e *AsyncEngine) applyRound() (iters int) {
-	scale := e.cfg.ServerLR / e.wsum
-	for j, v := range e.aggBuf {
-		e.global[j] += scale * v
-		e.aggBuf[j] = 0
+	if e.srvOpt != nil {
+		// FedOpt: the weighted-mean client delta, negated, is the server's
+		// pseudo-gradient; the server rule (momentum, Adam, ...) descends it
+		// with learning rate ServerLR. With the plain rule this matches the
+		// legacy arithmetic mathematically but not bitwise, so the path is
+		// gated on an explicit ServerOpt.
+		inv := 1 / e.wsum
+		for j, v := range e.aggBuf {
+			e.srvGrad[j] = -inv * v
+			e.aggBuf[j] = 0
+		}
+		e.srvOpt.SetLR(e.cfg.ServerLR)
+		e.srvOpt.Step(e.global, e.srvGrad)
+	} else {
+		scale := e.cfg.ServerLR / e.wsum
+		for j, v := range e.aggBuf {
+			e.global[j] += scale * v
+			e.aggBuf[j] = 0
+		}
 	}
 	e.version++
 	e.stats.Updates++

@@ -9,6 +9,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/delaymodel"
 	"repro/internal/nn"
+	"repro/internal/opt"
 	"repro/internal/rng"
 )
 
@@ -370,5 +371,55 @@ func TestAsyncWireFloat32HalvesBothDirections(t *testing.T) {
 	}
 	if narrow.TrainLoss() >= dense.TrainLoss()*2 {
 		t.Fatalf("float32-wire loss %v way above dense %v", narrow.TrainLoss(), dense.TrainLoss())
+	}
+}
+
+// TestAsyncServerOptFedAdam: the server-side FedOpt path. An adaptive rule
+// on the SERVER descends the staleness-weighted pseudo-gradient — the
+// config-time contract (local adaptive rules rejected, server synced
+// moments meaningless), the O(dim)-not-O(clients*dim) scratch accounting,
+// determinism of the gated path, and that it actually trains.
+func TestAsyncServerOptFedAdam(t *testing.T) {
+	s := asyncSetup(t, 8)
+
+	bad := baseAsyncCfg()
+	bad.Opt = opt.Config{Rule: opt.RuleAdam}
+	if _, err := NewAsync(s.proto, s.shards, s.train, s.test, s.dm, bad); err == nil {
+		t.Fatal("accepted a per-client adaptive local rule")
+	}
+	bad = baseAsyncCfg()
+	bad.ServerOpt = opt.Config{Rule: opt.RuleAdam, SyncedMoments: true}
+	if _, err := NewAsync(s.proto, s.shards, s.train, s.test, s.dm, bad); err == nil {
+		t.Fatal("accepted synced moments on server-owned state")
+	}
+
+	legacy := s.async(t, baseAsyncCfg())
+	legacy.Run("legacy")
+
+	cfg := baseAsyncCfg()
+	cfg.ServerOpt = opt.Config{Rule: opt.RuleAdam}
+	cfg.ServerLR = 0.02
+	a := asyncSetup(t, 8).async(t, cfg)
+	a.Run("fedadam")
+	b := asyncSetup(t, 8).async(t, cfg)
+	b.Run("fedadam-again")
+
+	if !floatsExact(a.GlobalParams(), b.GlobalParams()) {
+		t.Fatal("FedOpt path is not deterministic across identical runs")
+	}
+	if floatsExact(a.GlobalParams(), legacy.GlobalParams()) {
+		t.Fatal("FedAdam params identical to the legacy scale path; gate is inert")
+	}
+	// Server Adam adds the pseudo-gradient scratch plus its m and v state
+	// vectors — all O(dim), independent of the 8 clients.
+	if got, want := a.Stats().ScratchVectors, legacy.Stats().ScratchVectors+3; got != want {
+		t.Fatalf("scratch vectors %d, want %d (legacy %d + grad,m,v)",
+			got, want, legacy.Stats().ScratchVectors)
+	}
+	if la, ll := a.TrainLoss(), legacy.TrainLoss(); math.IsNaN(la) || la >= ll*2 {
+		t.Fatalf("FedAdam loss %v way above legacy %v", la, ll)
+	}
+	if a.Stats().Updates != cfg.MaxUpdates {
+		t.Fatalf("updates %d, want %d", a.Stats().Updates, cfg.MaxUpdates)
 	}
 }

@@ -62,6 +62,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/opt"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sgd"
@@ -72,15 +73,33 @@ import (
 type Config struct {
 	BatchSize int // per-worker mini-batch size
 
-	// Optimizer settings applied at every worker.
+	// Optimizer settings applied at every worker. The legacy
+	// Momentum/WeightDecay fields are heavy-ball shorthand; Opt selects any
+	// internal/opt rule (plain SGD, momentum, Nesterov, Local Adam/AdamW,
+	// with the synced-second-moment ablation axis). Setting Opt alongside a
+	// non-zero legacy field is rejected; the zero values of both mean plain
+	// SGD, bit-identical to every pre-optimizer-layer golden.
 	Momentum    float64 // local momentum factor (0 = plain SGD)
 	WeightDecay float64
+	Opt         opt.Config
 
 	// BlockMomentum is the global momentum factor beta_glob applied to the
 	// accumulated per-round update at averaging time (paper eq 24-25);
 	// 0 disables it. When enabled, local momentum buffers are reset at
-	// each averaging step (paper Sec 5.3.1 / CNTK practice).
+	// each averaging step (paper Sec 5.3.1 / CNTK practice). It remains the
+	// FullAveraging-only legacy knob; GlobalMomentum below is the
+	// strategy-generic generalization, and the two are mutually exclusive.
 	BlockMomentum float64
+
+	// GlobalMomentum applies SlowMo-style global momentum at every sync
+	// point under ANY strategy: full averaging filters the population
+	// displacement through one shared buffer (the same arithmetic as
+	// BlockMomentum), while gossip and elastic averaging keep one buffer
+	// per node, filtering each node's own mixing displacement. GlobalLR is
+	// the slow learning rate alpha applied to the buffered update
+	// (0 = 1, the BMUF/legacy form). 0 disables.
+	GlobalMomentum float64
+	GlobalLR       float64
 
 	// Stop conditions: the run ends when either is reached (zero = unset;
 	// at least one must be set).
@@ -207,6 +226,33 @@ func (c Config) validate(m int) error {
 	if c.BlockMomentum != 0 && c.Strategy != FullAveraging {
 		return fmt.Errorf("cluster: block momentum requires FullAveraging, got %s", c.Strategy)
 	}
+	if err := c.Opt.Validate(); err != nil {
+		return err
+	}
+	if !c.Opt.IsZero() && (c.Momentum != 0 || c.WeightDecay != 0) {
+		return fmt.Errorf("cluster: set either Opt or the legacy Momentum/WeightDecay fields, not both")
+	}
+	if c.Opt.SyncedMoments && c.Strategy == ElasticAveraging {
+		// Elastic averaging has no averaging step to ship the moment
+		// through: the alpha/beta center pull is not a mean, so a synced
+		// second moment would need its own center dynamics. Rejected rather
+		// than silently approximated.
+		return fmt.Errorf("cluster: synced Adam moments require an averaging strategy (full or gossip); elastic's center pull is not an average")
+	}
+	if math.IsNaN(c.GlobalMomentum) || c.GlobalMomentum < 0 || c.GlobalMomentum >= 1 {
+		return fmt.Errorf("cluster: global momentum %v outside [0,1)", c.GlobalMomentum)
+	}
+	if c.GlobalMomentum != 0 && c.BlockMomentum != 0 {
+		return fmt.Errorf("cluster: BlockMomentum and GlobalMomentum are the same buffer; set one")
+	}
+	if c.GlobalLR != 0 {
+		if c.GlobalMomentum == 0 {
+			return fmt.Errorf("cluster: GlobalLR %g requires GlobalMomentum", c.GlobalLR)
+		}
+		if err := checkMixCoeff("global momentum lr", c.GlobalLR); err != nil {
+			return err
+		}
+	}
 	if c.Strategy == ElasticAveraging {
 		// Like delaymodel.CheckLinks, degenerate coefficients are rejected
 		// instead of silently replaced: a negative or NaN pull strength
@@ -262,6 +308,21 @@ func checkMixCoeff(name string, v float64) error {
 	return nil
 }
 
+// optConfig maps the configured update rule onto internal/opt: Opt when
+// set, else the legacy Momentum/WeightDecay heavy-ball shorthand (which
+// internal/opt reproduces bit for bit).
+func (c Config) optConfig() opt.Config {
+	if !c.Opt.IsZero() {
+		return c.Opt
+	}
+	oc := opt.Config{WeightDecay: c.WeightDecay}
+	if c.Momentum != 0 {
+		oc.Rule = opt.RuleMomentum
+		oc.Momentum = c.Momentum
+	}
+	return oc
+}
+
 // RoundInfo is the engine state visible to a Controller before each round.
 type RoundInfo struct {
 	Round    int     // completed averaging rounds
@@ -281,6 +342,13 @@ type RoundInfo struct {
 	CommTime     float64
 	ComputeTime  float64
 	LastCommTime float64
+
+	// GradNorm is the l2 norm of worker 0's most recent mini-batch gradient
+	// (zero before the first round; under churn it may reflect a frozen
+	// worker). Controllers that drive the QSGD bit-width from gradient-norm
+	// decay (compress.NormDecayBits) consume it; reading it costs no RNG
+	// and does not perturb any trajectory.
+	GradNorm float64
 
 	// LinkTimes[i] is worker i's own transfer time in the previous round's
 	// schedule (delaymodel.SampleDScheduleInto: link latency times the
@@ -331,7 +399,8 @@ func (f FixedTau) Name() string { return fmt.Sprintf("tau=%d", f.Tau) }
 type worker struct {
 	model   *nn.Network
 	sampler *data.Sampler
-	opt     *sgd.Optimizer
+	opt     opt.Optimizer
+	sync    [][]float64 // the optimizer's SyncAverage vectors (live views)
 	grad    []float64
 }
 
@@ -343,7 +412,37 @@ type Engine struct {
 	pool    int // resolved compute-pool width (<=1 means serial)
 
 	global []float64 // synchronized model parameters
-	ublock []float64 // block-momentum buffer (displacement units)
+
+	// Optimizer-layer state. optCfg is the effective per-worker rule
+	// (Config.Opt, or the legacy Momentum/WeightDecay mapped onto it);
+	// optReset caches whether it carries SyncReset-policy state (the
+	// reset-at-averaging gate, equivalent to the legacy Momentum != 0
+	// check); optSteps counts the local steps a continuously-active worker
+	// has taken (the Adam second-moment clock rejoin reconciliation
+	// re-derives). gmom is the shared global-momentum buffer of
+	// FullAveraging (BlockMomentum or GlobalMomentum — same arithmetic);
+	// gmoms are the per-node buffers of the gossip/elastic strategies.
+	optCfg   opt.Config
+	optReset bool
+	optSteps int
+	gmom     *opt.Global
+	gmoms    []*opt.Global
+
+	// Wire-visible synced optimizer state (Opt.SyncedMoments): every
+	// averaged payload is extended from dim to xdim = dim + syncedLen,
+	// with extGlobal = [global | globalSync] the extended reference and
+	// extWork per-worker extended rows (load/storeExt marshal a worker's
+	// params + SyncAverage vectors through them). All averaging scratch
+	// (sumBuf, avgBuf, deltaBuf, mixBuf, ringSnap, CHOCO estimates,
+	// reconBuf) is sized xdim, so the state rides the same compression,
+	// payload accounting, and float32 wire narrowing as the parameters.
+	// Without synced moments xdim == dim and every path is bit-identical
+	// to the pre-optimizer-layer engine.
+	xdim       int
+	ext        bool
+	extGlobal  []float64
+	globalSync []float64
+	extWork    [][]float64
 
 	delay *delaymodel.Model
 	slow  []float64 // per-worker compute slowdown factors
@@ -366,8 +465,7 @@ type Engine struct {
 	deltaBuf []float64
 	sumBuf   []float64
 	msgBuf   []compress.Message
-	avgBuf   []float64 // averaging scratch, reused every round
-	dispBuf  []float64 // block-momentum displacement scratch
+	avgBuf   []float64 // averaging / post-mix scratch, reused every round
 
 	// Strategy scratch, engine-owned and reused every sync per the PR-4
 	// arena convention (steady-state rounds allocate nothing): ringSnap
@@ -430,6 +528,14 @@ type Engine struct {
 	subForIdx   int
 	subActive   []bool
 	subGamma    float64
+
+	// Previous round's membership view of the shared global-momentum
+	// buffer (allocated only with faults AND gmom): the buffered
+	// dispersion was accumulated over gmomPrev's population, so a
+	// membership change renormalizes it by the surviving fraction
+	// |A_t ∩ A_prev| / |A_prev| before it is mixed again (beginRound).
+	gmomPrev  []bool
+	gmomPrevN int
 
 	cfg Config
 }
@@ -506,20 +612,47 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 		}
 		e.slow = scaled
 	}
-	if cfg.BlockMomentum != 0 {
-		e.ublock = make([]float64, e.dim)
+	// Global momentum: FullAveraging keeps one shared buffer on the
+	// reference model (BlockMomentum and GlobalMomentum are the same
+	// arithmetic); gossip and elastic keep one buffer per node. None of
+	// this consumes RNG.
+	if gBeta := cfg.BlockMomentum + cfg.GlobalMomentum; gBeta != 0 {
+		if cfg.Strategy == FullAveraging {
+			e.gmom = opt.NewGlobal(gBeta, cfg.GlobalLR, e.dim)
+		} else {
+			e.gmoms = make([]*opt.Global, m)
+			for i := range e.gmoms {
+				e.gmoms[i] = opt.NewGlobal(gBeta, cfg.GlobalLR, e.dim)
+			}
+		}
 	}
+	e.optCfg = cfg.optConfig()
 	for i := 0; i < m; i++ {
 		w := &worker{
 			model:   proto.Clone(),
 			sampler: data.NewSampler(shards[i], cfg.BatchSize, root.Split()),
-			opt: sgd.NewOptimizer(sgd.Config{
-				Momentum:    cfg.Momentum,
-				WeightDecay: cfg.WeightDecay,
-			}),
-			grad: make([]float64, proto.ParamLen()),
+			opt:     opt.New(e.optCfg, proto.ParamLen()),
+			grad:    make([]float64, proto.ParamLen()),
 		}
+		w.sync = opt.SyncedVecs(w.opt)
 		e.workers = append(e.workers, w)
+	}
+	e.optReset = opt.HasResetState(e.workers[0].opt)
+	// Wire-visible synced state extends every averaged payload: xdim is
+	// the extended vector length all averaging scratch below is sized to
+	// (== dim without synced moments, leaving every legacy path untouched).
+	e.xdim = e.dim + opt.SyncedLen(e.workers[0].opt)
+	if e.xdim > e.dim {
+		e.ext = true
+		e.extGlobal = make([]float64, e.xdim)
+		copy(e.extGlobal, e.global)
+		e.global = e.extGlobal[:e.dim]
+		e.globalSync = e.extGlobal[e.dim:]
+		back := make([]float64, m*e.xdim)
+		e.extWork = make([][]float64, m)
+		for i := range e.extWork {
+			e.extWork[i] = back[i*e.xdim : (i+1)*e.xdim]
+		}
 	}
 	// Evaluation subsets are fixed once so the loss curve is comparable
 	// across the whole run.
@@ -539,20 +672,20 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 	e.com = comm.New(cfg.Topology, m)
 	e.latHops = cfg.Topology.LatencyHops(m)
 	e.bytesFactor = cfg.Topology.BytesFactor(m)
-	e.lastReport = comm.DenseReport(m, e.dim)
+	e.lastReport = comm.DenseReport(m, e.xdim)
 	if cfg.Compress.Enabled() {
 		// Before the first synchronization the schedule reflects the spec's
 		// data-independent wire size (e.g. a float32 wire halves it); each
 		// averaging overwrites it with the observed payload.
 		for i := range e.lastReport.Bytes {
-			e.lastReport.Bytes[i] = cfg.Compress.WireBytes(e.dim)
+			e.lastReport.Bytes[i] = cfg.Compress.WireBytes(e.xdim)
 		}
-		e.lastReport.Max = cfg.Compress.WireBytes(e.dim)
+		e.lastReport.Max = cfg.Compress.WireBytes(e.xdim)
 	}
 	e.linkTimes = make([]float64, m)
-	e.sumBuf = make([]float64, e.dim)
+	e.sumBuf = make([]float64, e.xdim)
 	e.msgBuf = make([]compress.Message, m)
-	e.avgBuf = make([]float64, e.dim)
+	e.avgBuf = make([]float64, e.xdim)
 	e.pool = cfg.ComputeWorkers
 	if e.pool == 0 {
 		e.pool = runtime.GOMAXPROCS(0)
@@ -569,7 +702,7 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 			}
 			e.comps[i] = c
 		}
-		e.deltaBuf = make([]float64, e.dim)
+		e.deltaBuf = make([]float64, e.xdim)
 	}
 	switch cfg.Strategy {
 	case RingGossip:
@@ -594,12 +727,12 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 		}
 		e.meanVecs = make([][]float64, m)
 		if e.comps == nil {
-			e.snapBack = make([]float64, m*e.dim)
+			e.snapBack = make([]float64, m*e.xdim)
 			e.ringSnap = make([][]float64, m)
 			for i := range e.ringSnap {
-				e.ringSnap[i] = e.snapBack[i*e.dim : (i+1)*e.dim]
+				e.ringSnap[i] = e.snapBack[i*e.xdim : (i+1)*e.xdim]
 			}
-			e.denseRep = comm.DenseReport(m, e.dim)
+			e.denseRep = comm.DenseReport(m, e.xdim)
 		} else {
 			// Lossless specs (identity kind on a float64 wire; an
 			// error-feedback wrap keeps a residual of exactly zero) let
@@ -607,8 +740,12 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 			// the estimates exactly; see averageRingChoco. A float32 wire
 			// is lossy, so it takes the general estimate-delta path.
 			e.repBytes = make([]int, m)
-			e.mixBuf = make([]float64, e.dim)
-			e.gossip = newGossipState(m, e.global, cfg.GossipGamma,
+			e.mixBuf = make([]float64, e.xdim)
+			init := e.global
+			if e.ext {
+				init = e.extGlobal // CHOCO estimates cover the synced state
+			}
+			e.gossip = newGossipState(m, init, cfg.GossipGamma,
 				cfg.Compress.Lossless())
 			for i := range e.gossip.nodes {
 				e.gossip.nodes[i] = e.workers[i].model
@@ -635,10 +772,17 @@ func New(proto *nn.Network, shards []*data.Dataset, trainEval, test *data.Datase
 		e.fltScale = make([]float64, m)
 		e.reconBytes = make([]int, m)
 		e.fltBytesBuf = make([]int, m)
-		e.reconBuf = make([]float64, e.dim)
+		e.reconBuf = make([]float64, e.xdim)
 		e.zeroRep = comm.Report{Bytes: make([]int, m)}
 		e.subForIdx = -1
 		e.subActive = make([]bool, m)
+		if e.gmom != nil {
+			e.gmomPrev = make([]bool, m)
+			for i := range e.gmomPrev {
+				e.gmomPrev[i] = true
+			}
+			e.gmomPrevN = m
+		}
 	}
 	return e, nil
 }
@@ -745,6 +889,28 @@ func (e *Engine) setCompressionRatio(r float64) {
 	}
 }
 
+// BitsController is optionally implemented by controllers that drive the
+// QSGD quantization bit-width from observed gradient-norm decay
+// (compress.NormDecayBits). A non-positive QuantBits leaves every
+// compressor untouched.
+type BitsController interface {
+	Controller
+	QuantBits() int
+}
+
+// setCompressionBits retunes every bit-width-capable compressor (QSGD,
+// possibly wrapped in error feedback or a float32 wire) to b bits.
+func (e *Engine) setCompressionBits(b int) {
+	if b <= 0 {
+		return
+	}
+	for _, c := range e.comps {
+		if q, ok := c.(compress.BitSetter); ok {
+			q.SetBits(b)
+		}
+	}
+}
+
 // runSteps advances one worker by `steps` local SGD iterations at lr. All
 // state it touches — replica, sampler stream, optimizer, gradient buffer —
 // is owned by this worker, which is what makes the fan-out below safe AND
@@ -771,6 +937,44 @@ func (e *Engine) localUpdates(steps int, lr float64) {
 		}
 		e.workers[i].runSteps(steps, lr)
 	})
+}
+
+// loadExt marshals worker i's parameters followed by its SyncAverage
+// optimizer vectors into the worker's extended row and returns it. Only
+// called in ext mode (Opt.SyncedMoments).
+func (e *Engine) loadExt(i int) []float64 {
+	w := e.workers[i]
+	row := e.extWork[i]
+	copy(row[:e.dim], w.model.Params())
+	off := e.dim
+	for _, v := range w.sync {
+		copy(row[off:off+len(v)], v)
+		off += len(v)
+	}
+	return row
+}
+
+// storeExt unmarshals an extended row back into worker i's replica and
+// SyncAverage optimizer vectors.
+func (e *Engine) storeExt(i int, row []float64) {
+	w := e.workers[i]
+	w.model.SetParams(row[:e.dim])
+	off := e.dim
+	for _, v := range w.sync {
+		copy(v, row[off:off+len(v)])
+		off += len(v)
+	}
+}
+
+// resetWorkerOpt applies the reset-at-averaging discipline: local
+// SyncReset-policy state (heavy-ball buffers, Adam first moments) restarts
+// whenever the rule carries any, or when a global-momentum buffer filters
+// the sync (paper Sec 5.3.1 / SlowMo practice). Equivalent to the legacy
+// Momentum/BlockMomentum gates for the legacy rules.
+func (e *Engine) resetWorkerOpt(w *worker) {
+	if e.optReset || e.gmom != nil || e.gmoms != nil {
+		w.opt.SyncReset()
+	}
 }
 
 // average synchronizes the replicas according to the configured strategy
@@ -804,12 +1008,17 @@ func (e *Engine) averageFull() {
 		e.compressedDeltaMean(avg)
 	} else {
 		// Raw path: each worker contributes its dense parameter vector as a
-		// lossless wire message; the communicator sums them in worker order,
-		// which keeps the arithmetic bit-identical to the pre-comm-layer
-		// tensor.Mean. Under faults the communicator skips inactive
-		// contributions and the mean renormalizes over the survivors.
+		// lossless wire message (extended with its synced optimizer state in
+		// ext mode); the communicator sums them in worker order, which keeps
+		// the arithmetic bit-identical to the pre-comm-layer tensor.Mean.
+		// Under faults the communicator skips inactive contributions and the
+		// mean renormalizes over the survivors.
 		for i, w := range e.workers {
-			e.msgBuf[i] = compress.Message{Dim: e.dim, Enc: compress.EncDense, Dense: w.model.Params()}
+			vec := w.model.Params()
+			if e.ext {
+				vec = e.loadExt(i)
+			}
+			e.msgBuf[i] = compress.Message{Dim: e.xdim, Enc: compress.EncDense, Dense: vec}
 		}
 		rep, err := e.com.AllReduce(e.msgBuf, e.sumBuf)
 		if err != nil {
@@ -825,22 +1034,19 @@ func (e *Engine) averageFull() {
 		}
 	}
 
-	if e.cfg.BlockMomentum != 0 {
-		// Displacement-form block momentum (paper eq 24-25): treat the
-		// round's aggregate movement as one big gradient step and filter
-		// it with a global momentum buffer. lr is already folded into the
-		// displacement, matching eq 25 with the round's eta.
-		if e.dispBuf == nil {
-			e.dispBuf = make([]float64, e.dim)
-		}
-		disp := e.dispBuf
-		tensor.Sub(disp, e.global, avg) // x_start - avg = eta * G_j
-		for i := range e.ublock {
-			e.ublock[i] = e.cfg.BlockMomentum*e.ublock[i] + disp[i]
-			e.global[i] -= e.ublock[i]
-		}
+	if e.gmom != nil {
+		// Displacement-form global momentum (paper eq 24-25 / SlowMo):
+		// treat the round's aggregate movement as one big gradient step and
+		// filter it with the shared buffer. lr is already folded into the
+		// displacement, matching eq 25 with the round's eta; only the
+		// parameter block is filtered — synced optimizer state is averaged,
+		// not momentum-extrapolated.
+		e.gmom.Apply(e.global, avg[:e.dim], e.global)
 	} else {
-		copy(e.global, avg)
+		copy(e.global, avg[:e.dim])
+	}
+	if e.ext {
+		copy(e.globalSync, avg[e.dim:])
 	}
 
 	for i, w := range e.workers {
@@ -848,12 +1054,16 @@ func (e *Engine) averageFull() {
 			continue // down replicas keep their stale state until rejoin
 		}
 		w.model.SetParams(e.global)
-		if e.cfg.BlockMomentum != 0 || e.cfg.Momentum != 0 {
-			// Restart local momentum after averaging so the stale local
-			// buffer cannot side-track the first post-sync step
-			// (paper Sec 5.3.1).
-			w.opt.ResetMomentum()
+		if e.ext {
+			off := 0
+			for _, v := range w.sync {
+				copy(v, e.globalSync[off:off+len(v)])
+				off += len(v)
+			}
 		}
+		// Restart local SyncReset state after averaging so the stale local
+		// buffer cannot side-track the first post-sync step (Sec 5.3.1).
+		e.resetWorkerOpt(w)
 	}
 }
 
@@ -873,7 +1083,11 @@ func (e *Engine) compressedDeltaMean(avg []float64) {
 			e.msgBuf[i] = compress.Message{}
 			continue
 		}
-		tensor.Sub(e.deltaBuf, w.model.Params(), e.global)
+		if e.ext {
+			tensor.Sub(e.deltaBuf, e.loadExt(i), e.extGlobal)
+		} else {
+			tensor.Sub(e.deltaBuf, w.model.Params(), e.global)
+		}
 		msg, err := e.comps[i].Compress(e.deltaBuf)
 		if err != nil {
 			panic(fmt.Sprintf("cluster: worker %d compress: %v", i, err))
@@ -889,8 +1103,12 @@ func (e *Engine) compressedDeltaMean(avg []float64) {
 	if e.fltActive != nil {
 		inv = 1 / float64(e.fltNActive)
 	}
+	base := e.global
+	if e.ext {
+		base = e.extGlobal
+	}
 	for j := range avg {
-		avg[j] = e.global[j] + e.sumBuf[j]*inv
+		avg[j] = base[j] + e.sumBuf[j]*inv
 	}
 }
 
@@ -933,6 +1151,9 @@ func (e *Engine) Run(ctrl Controller, traceName string) *metrics.Trace {
 		if rc, ok := ctrl.(RatioController); ok {
 			e.setCompressionRatio(rc.CompressionRatio())
 		}
+		if bc, ok := ctrl.(BitsController); ok {
+			e.setCompressionBits(bc.QuantBits())
+		}
 		// Trim the round to the iteration budget so runs are comparable.
 		steps := tau
 		if e.cfg.MaxIters > 0 {
@@ -943,7 +1164,9 @@ func (e *Engine) Run(ctrl Controller, traceName string) *metrics.Trace {
 
 		e.beginRound(info.Round)
 		e.localUpdates(steps, lr)
+		e.optSteps += steps
 		info.Iter += steps
+		info.GradNorm = tensor.Norm2(e.workers[0].grad)
 		// Averaging precedes the clock update so roundTime can charge this
 		// round's (possibly compressed) broadcast payload. Neither step
 		// draws from the other's RNG stream, so the order swap leaves
@@ -975,6 +1198,7 @@ func (e *Engine) Run(ctrl Controller, traceName string) *metrics.Trace {
 // share state with this method's iteration accounting.
 func (e *Engine) StepLocal(k int, lr float64) int {
 	e.localUpdates(k, lr)
+	e.optSteps += k
 	return k
 }
 

@@ -34,6 +34,26 @@ func (e *Engine) beginRound(round int) {
 			float64(1+e.cfg.Faults.Retries(e.cfg.Seed, round, i))
 		e.reconBytes[i] = 0
 	}
+	if e.gmom != nil {
+		// Shared global-momentum buffer under churn: the buffer is a running
+		// sum of displacement contributions from the previous round's active
+		// set, so when workers drop out it renormalizes by the surviving
+		// fraction |A_t ∩ A_{t-1}| / |A_{t-1}|. Unchanged membership and
+		// pure-rejoin rounds give factor 1 (a bitwise no-op); crash rounds
+		// shrink the buffer so departed workers' stale contributions do not
+		// keep steering the global model.
+		inter := 0
+		for i := range e.fltActive {
+			if e.fltActive[i] && e.gmomPrev[i] {
+				inter++
+			}
+		}
+		if e.gmomPrevN > 0 {
+			e.gmom.Renormalize(float64(inter) / float64(e.gmomPrevN))
+		}
+		copy(e.gmomPrev, e.fltActive)
+		e.gmomPrevN = e.fltNActive
+	}
 	for i := range e.workers {
 		if e.fltActive[i] && e.cfg.Faults.Rejoins(i, round) {
 			e.reconcile(i)
@@ -42,26 +62,52 @@ func (e *Engine) beginRound(round int) {
 }
 
 // reconcile brings a rejoining worker back into the cluster: it pulls the
-// delta between the current global model and its stale replica as a dense
-// (lossless) wire message — priced into this round's transfer schedule via
-// reconBytes — and snaps its replica to the global model exactly, the same
-// lossless-pull rule the parameter server's PullCompress path uses. Local
-// momentum restarts, and under compressed gossip the worker's CHOCO
-// estimate and projection re-pin to the pulled model so its next wire
-// message is a delta from shared state, not from a pre-crash ghost.
+// delta between the current global reference and its stale replica as a
+// dense (lossless) wire message — priced into this round's transfer schedule
+// via reconBytes — and snaps its replica to the reference exactly, the same
+// lossless-pull rule the parameter server's PullCompress path uses. The pull
+// covers the full extended vector when synced optimizer state is
+// wire-visible, so a rejoined worker's Adam second moment matches a
+// never-crashed worker's bit for bit: both end the round with params ==
+// global, first moment zeroed by the sync reset, second moment == the synced
+// reference, and the bias-correction clock re-aligned to the engine's step
+// count. Per-node global-momentum buffers restart from zero (the node's
+// displacement history died with it), and under compressed gossip the
+// worker's CHOCO estimate and projection re-pin to the pulled vector so its
+// next wire message is a delta from shared state, not from a pre-crash
+// ghost.
 func (e *Engine) reconcile(i int) {
 	w := e.workers[i]
-	tensor.Sub(e.reconBuf, e.global, w.model.Params())
-	msg := compress.Message{Dim: e.dim, Enc: compress.EncDense, Dense: e.reconBuf}
+	ref := e.global
+	if e.ext {
+		ref = e.extGlobal
+		tensor.Sub(e.reconBuf, ref, e.loadExt(i))
+	} else {
+		tensor.Sub(e.reconBuf, ref, w.model.Params())
+	}
+	msg := compress.Message{Dim: e.xdim, Enc: compress.EncDense, Dense: e.reconBuf}
 	pay := e.com.Pull(i, msg.Bytes())
 	e.reconBytes[i] = pay.DownBytes
 	w.model.SetParams(e.global)
-	if e.cfg.BlockMomentum != 0 || e.cfg.Momentum != 0 {
-		w.opt.ResetMomentum()
+	if e.ext {
+		off := 0
+		for _, v := range w.sync {
+			copy(v, e.globalSync[off:off+len(v)])
+			off += len(v)
+		}
+	}
+	if e.gmom != nil || e.gmoms != nil || e.optReset {
+		w.opt.SyncReset()
+	}
+	if e.optCfg.Adaptive() {
+		w.opt.AlignSteps(e.optSteps)
+	}
+	if e.gmoms != nil {
+		e.gmoms[i].Reset()
 	}
 	if e.gossip != nil {
-		copy(e.gossip.hat[i], e.global)
-		copy(e.gossip.proj[i], e.global)
+		copy(e.gossip.hat[i], ref)
+		copy(e.gossip.proj[i], ref)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/tensor"
 )
 
 // RunParallel executes the same PASGD procedure as Run, but each worker's
@@ -64,6 +65,9 @@ func (e *Engine) RunParallel(ctrl Controller, traceName string) *metrics.Trace {
 		if rc, ok := ctrl.(RatioController); ok {
 			e.setCompressionRatio(rc.CompressionRatio())
 		}
+		if bc, ok := ctrl.(BitsController); ok {
+			e.setCompressionBits(bc.QuantBits())
+		}
 		steps := tau
 		if e.cfg.MaxIters > 0 {
 			if rem := e.cfg.MaxIters - info.Iter; rem < steps {
@@ -113,7 +117,9 @@ func (e *Engine) RunParallel(ctrl Controller, traceName string) *metrics.Trace {
 		}
 		bg.Wait()
 
+		e.optSteps += steps
 		info.Iter += steps
+		info.GradNorm = tensor.Norm2(e.workers[0].grad)
 		advanceClock(&info, e, steps)
 		info.Round++
 		info.Epoch = e.workers[0].sampler.Epoch()

@@ -199,7 +199,11 @@ func (e *Engine) averageRing() {
 	}
 	g, _ := e.activeGossipGraph()
 	for i, w := range e.workers {
-		copy(e.ringSnap[i], w.model.Params())
+		if e.ext {
+			copy(e.ringSnap[i], e.loadExt(i))
+		} else {
+			copy(e.ringSnap[i], w.model.Params())
+		}
 	}
 	for i, w := range e.workers {
 		if e.fltDown != nil && e.fltDown[i] {
@@ -207,12 +211,28 @@ func (e *Engine) averageRing() {
 			// subgraph's rows never reference their stale snapshots)
 		}
 		if g.Degree(i) > 0 {
-			mixRowInto(w.model.Params(), g, i, e.ringSnap)
+			if e.gmoms == nil && !e.ext {
+				// Legacy path, bit for bit.
+				mixRowInto(w.model.Params(), g, i, e.ringSnap)
+			} else {
+				post := e.avgBuf
+				mixRowInto(post, g, i, e.ringSnap)
+				if e.gmoms != nil {
+					// Per-node slow momentum: filter this node's own mixing
+					// displacement (parameter block only).
+					e.gmoms[i].Apply(e.ringSnap[i][:e.dim], post[:e.dim], post[:e.dim])
+				}
+				if e.ext {
+					e.storeExt(i, post)
+				} else {
+					w.model.SetParams(post[:e.dim])
+				}
+			}
 		}
 		// Degree 0 (m == 1, or an active node isolated by churn): nothing
 		// to mix with; the mix is the identity, not the
 		// rounding-perturbed (x+x+x)/3.
-		e.resetWorkerMomentum(w)
+		e.resetWorkerOpt(w)
 	}
 	e.lastReport = e.denseRep
 	e.refreshGlobalFromReplicaMean()
@@ -255,9 +275,15 @@ func (e *Engine) averageRingChoco() {
 			continue
 		}
 		params := node.Params()
+		if e.ext {
+			// The wire covers the synced optimizer state: estimates,
+			// deltas, and payload accounting all run over the extended
+			// vector, through the same compressor and wire narrowing.
+			params = e.loadExt(i)
+		}
 		var msg compress.Message
 		if g.lossless {
-			msg = compress.Message{Dim: e.dim, Enc: compress.EncDense, Dense: params}
+			msg = compress.Message{Dim: e.xdim, Enc: compress.EncDense, Dense: params}
 		} else {
 			tensor.Sub(e.deltaBuf, params, g.hat[i])
 			var err error
@@ -294,6 +320,9 @@ func (e *Engine) averageRingChoco() {
 			continue
 		}
 		dst := node.Params()
+		if e.ext {
+			dst = e.extWork[i] // loaded (and current) since phase 1
+		}
 		hs := g.hat[i]
 		prj := g.proj[i]
 		if gr.Degree(i) == 0 {
@@ -301,16 +330,37 @@ func (e *Engine) averageRingChoco() {
 			// identity must stay exact — gamma*x̂ + (x - gamma*x̂) is not
 			// a bitwise no-op.
 			copy(prj, hs)
-			e.resetWorkerMomentum(e.workers[i])
+			e.resetWorkerOpt(e.workers[i])
 			continue
 		}
 		mix := e.mixBuf
 		mixRowInto(mix, gr, i, g.hat)
-		for j := range dst {
-			dst[j] = gamma*mix[j] + (dst[j] - gamma*hs[j])
-			prj[j] = gamma*mix[j] + (hs[j] - gamma*hs[j])
+		if e.gmoms == nil && !e.ext {
+			// Legacy path, bit for bit.
+			for j := range dst {
+				dst[j] = gamma*mix[j] + (dst[j] - gamma*hs[j])
+				prj[j] = gamma*mix[j] + (hs[j] - gamma*hs[j])
+			}
+		} else {
+			post := e.avgBuf
+			for j := range dst {
+				post[j] = gamma*mix[j] + (dst[j] - gamma*hs[j])
+				prj[j] = gamma*mix[j] + (hs[j] - gamma*hs[j])
+			}
+			if e.gmoms != nil {
+				// The slow-momentum filter applies to the replica only; the
+				// projection stays the wire-derived estimate of the plain
+				// mix, which the estimate protocol self-corrects toward on
+				// the next round's delta.
+				e.gmoms[i].Apply(dst[:e.dim], post[:e.dim], post[:e.dim])
+			}
+			if e.ext {
+				e.storeExt(i, post)
+			} else {
+				e.workers[i].model.SetParams(post[:e.dim])
+			}
 		}
-		e.resetWorkerMomentum(e.workers[i])
+		e.resetWorkerOpt(e.workers[i])
 	}
 	e.lastReport = comm.Report{Bytes: e.repBytes, Max: maxBytes}
 	// The evaluation model is the mean of the PROJECTED post-mix estimates
@@ -320,8 +370,12 @@ func (e *Engine) averageRingChoco() {
 	// bit-identical to the raw path's post-mix replica mean. Under churn
 	// the mean covers the active estimates only (average() already
 	// guaranteed at least one).
+	dst := e.global
+	if e.ext {
+		dst = e.extGlobal // refresh the synced-state reference too
+	}
 	if e.fltActive == nil {
-		tensor.Mean(e.global, g.proj...)
+		tensor.Mean(dst, g.proj...)
 	} else {
 		k := 0
 		for i := range g.proj {
@@ -330,7 +384,7 @@ func (e *Engine) averageRingChoco() {
 				k++
 			}
 		}
-		tensor.Mean(e.global, e.meanVecs[:k]...)
+		tensor.Mean(dst, e.meanVecs[:k]...)
 	}
 }
 
@@ -363,24 +417,45 @@ func (e *Engine) averageElastic() {
 			if err != nil {
 				panic(fmt.Sprintf("cluster: worker %d push: %v", i, err))
 			}
-			for j := range p {
-				p[j] -= alpha * e.deltaBuf[j]
-				centerPull[j] += e.deltaBuf[j]
+			if e.gmoms == nil {
+				for j := range p {
+					p[j] -= alpha * e.deltaBuf[j]
+					centerPull[j] += e.deltaBuf[j]
+				}
+			} else {
+				post := e.avgBuf[:e.dim]
+				for j := range p {
+					post[j] = p[j] - alpha*e.deltaBuf[j]
+					centerPull[j] += e.deltaBuf[j]
+				}
+				e.gmoms[i].Apply(p, post, p)
 			}
 			e.repBytes[i] = pay.UpBytes
 			if pay.UpBytes > maxBytes {
 				maxBytes = pay.UpBytes
 			}
 		} else {
-			for j := range p {
-				diff := p[j] - e.global[j]
-				p[j] -= alpha * diff
-				centerPull[j] += diff
+			if e.gmoms == nil {
+				for j := range p {
+					diff := p[j] - e.global[j]
+					p[j] -= alpha * diff
+					centerPull[j] += diff
+				}
+			} else {
+				// Per-node slow momentum filters the node's own alpha-pull
+				// displacement; the center update keeps the raw pull.
+				post := e.avgBuf[:e.dim]
+				for j := range p {
+					diff := p[j] - e.global[j]
+					post[j] = p[j] - alpha*diff
+					centerPull[j] += diff
+				}
+				e.gmoms[i].Apply(p, post, p)
 			}
 			e.repBytes[i] = 8 * e.dim
 			maxBytes = 8 * e.dim
 		}
-		e.resetWorkerMomentum(w)
+		e.resetWorkerOpt(w)
 	}
 	n := float64(e.m)
 	if e.fltActive != nil {
@@ -395,28 +470,30 @@ func (e *Engine) averageElastic() {
 // model; the CHOCO path averages its estimates instead so that even the
 // evaluated model is wire-derivable).
 func (e *Engine) refreshGlobalFromReplicaMean() {
+	dst := e.global
+	row := func(i int) []float64 { return e.workers[i].model.Params() }
+	if e.ext {
+		// The extended reference [global | globalSync] tracks the replica
+		// mean of params AND synced optimizer state together.
+		dst = e.extGlobal
+		row = e.loadExt
+	}
 	if e.fltActive == nil {
-		for i, w := range e.workers {
-			e.meanVecs[i] = w.model.Params()
+		for i := range e.workers {
+			e.meanVecs[i] = row(i)
 		}
-		tensor.Mean(e.global, e.meanVecs...)
+		tensor.Mean(dst, e.meanVecs...)
 		return
 	}
 	// Under churn only the active replicas define the evaluated model;
 	// stale crashed state must not drag the loss curve. average() already
 	// guaranteed at least one active worker.
 	k := 0
-	for i, w := range e.workers {
+	for i := range e.workers {
 		if e.fltActive[i] {
-			e.meanVecs[k] = w.model.Params()
+			e.meanVecs[k] = row(i)
 			k++
 		}
 	}
-	tensor.Mean(e.global, e.meanVecs[:k]...)
-}
-
-func (e *Engine) resetWorkerMomentum(w *worker) {
-	if e.cfg.Momentum != 0 {
-		w.opt.ResetMomentum()
-	}
+	tensor.Mean(dst, e.meanVecs[:k]...)
 }

@@ -157,6 +157,41 @@ type Adaptive interface {
 	Ratio() float64
 }
 
+// BitSetter is implemented by quantizers whose bit-width can be driven
+// directly (QSGD, plus any wrapper that forwards to one). It is the precise
+// alternative to the coarse ratio→bits rounding of Adaptive.SetRatio: a
+// norm-tracking controller computes an integer width and sets exactly that.
+type BitSetter interface {
+	SetBits(b int)
+	Bits() int
+}
+
+// clampBits restricts a quantizer bit-width to [1, 8].
+func clampBits(b int) int {
+	if b < 1 {
+		return 1
+	}
+	if b > 8 {
+		return 8
+	}
+	return b
+}
+
+// NormDecayBits maps an observed gradient-norm decay onto a QSGD bit-width:
+// starting from bits0 at reference norm norm0, the width grows by one bit
+// per halving of the gradient norm (quantization noise scales with the
+// vector norm, so as ||g|| shrinks the same absolute precision needs more
+// levels — the variance-matching rule behind adaptive-precision schemes).
+// The result is clamped to [1, 8]; non-positive or NaN norms return bits0
+// unchanged so a cold start or a dead gradient cannot spike the width.
+func NormDecayBits(bits0 int, norm0, norm float64) int {
+	bits0 = clampBits(bits0)
+	if !(norm0 > 0) || !(norm > 0) {
+		return bits0
+	}
+	return clampBits(bits0 + int(math.Round(math.Log2(norm0/norm))))
+}
+
 // keepCount converts a keep-ratio to a coordinate count in [1, dim].
 func keepCount(ratio float64, dim int) int {
 	k := int(math.Ceil(ratio * float64(dim)))
@@ -414,6 +449,13 @@ func (q *qsgdCompressor) SetRatio(r float64) {
 // Ratio implements Adaptive.
 func (q *qsgdCompressor) Ratio() float64 { return float64(q.bits) / 8 }
 
+// SetBits implements BitSetter: the width is set exactly (clamped to [1, 8]),
+// bypassing the ratio rounding.
+func (q *qsgdCompressor) SetBits(b int) { q.bits = clampBits(b) }
+
+// Bits implements BitSetter.
+func (q *qsgdCompressor) Bits() int { return q.bits }
+
 func (q *qsgdCompressor) levels() float64 { return float64(int(1)<<q.bits - 1) }
 
 func (q *qsgdCompressor) Compress(vec []float64) (Message, error) {
@@ -505,6 +547,21 @@ func (e *ErrorFeedback) Ratio() float64 {
 		return a.Ratio()
 	}
 	return 1
+}
+
+// SetBits implements BitSetter when the inner compressor does.
+func (e *ErrorFeedback) SetBits(b int) {
+	if s, ok := e.inner.(BitSetter); ok {
+		s.SetBits(b)
+	}
+}
+
+// Bits implements BitSetter when the inner compressor does (0 otherwise).
+func (e *ErrorFeedback) Bits() int {
+	if s, ok := e.inner.(BitSetter); ok {
+		return s.Bits()
+	}
+	return 0
 }
 
 // Compress compresses vec plus the carried residual and updates the residual

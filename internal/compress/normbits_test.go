@@ -1,0 +1,105 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestNormDecayBits pins the norm-driven width rule: one extra bit per
+// halving of the gradient norm from the reference, clamped to [1, 8], with
+// degenerate norms falling back to the reference width.
+func TestNormDecayBits(t *testing.T) {
+	cases := []struct {
+		bits0       int
+		norm0, norm float64
+		want        int
+	}{
+		{4, 1, 1, 4},     // no decay, reference width
+		{4, 1, 0.5, 5},   // one halving, one extra bit
+		{4, 1, 0.25, 6},  // two halvings
+		{4, 1, 2, 3},     // norm GREW: coarser wire
+		{4, 1, 1e-10, 8}, // deep decay clamps at 8
+		{4, 1, 1e10, 1},  // explosion clamps at 1
+		{4, 0, 0.5, 4},   // unset reference: reference width
+		{4, 1, 0, 4},     // dead gradient: reference width
+		{4, 1, -1, 4},    // negative: reference width
+		{4, math.NaN(), 1, 4},
+		{4, 1, math.NaN(), 4},
+		{0, 1, 1, 1},  // bits0 itself is clamped
+		{12, 1, 1, 8}, // ... from both sides
+	}
+	for _, tc := range cases {
+		if got := NormDecayBits(tc.bits0, tc.norm0, tc.norm); got != tc.want {
+			t.Errorf("NormDecayBits(%d, %g, %g) = %d, want %d",
+				tc.bits0, tc.norm0, tc.norm, got, tc.want)
+		}
+	}
+}
+
+// TestQSGDSetBits: the exact-width hook bypasses the ratio rounding, clamps
+// to [1, 8], and the chosen width reaches the wire message.
+func TestQSGDSetBits(t *testing.T) {
+	c := NewQSGD(4, rng.New(3))
+	bs, ok := c.(BitSetter)
+	if !ok {
+		t.Fatalf("qsgd is not a BitSetter (%T)", c)
+	}
+	bs.SetBits(7)
+	if got := bs.Bits(); got != 7 {
+		t.Fatalf("Bits() = %d after SetBits(7)", got)
+	}
+	msg, err := c.Compress(testVec(32, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Bits != 7 {
+		t.Fatalf("wire message carries %d bits, want 7", msg.Bits)
+	}
+	bs.SetBits(99)
+	if got := bs.Bits(); got != 8 {
+		t.Fatalf("Bits() = %d after SetBits(99), want clamp to 8", got)
+	}
+	bs.SetBits(0)
+	if got := bs.Bits(); got != 1 {
+		t.Fatalf("Bits() = %d after SetBits(0), want clamp to 1", got)
+	}
+}
+
+// TestBitSetterPassthrough: the error-feedback and wire-narrowing wrappers
+// forward SetBits/Bits to a width-capable inner compressor, and stay inert
+// around one that is not.
+func TestBitSetterPassthrough(t *testing.T) {
+	ef := WithErrorFeedback(NewQSGD(4, rng.New(4)))
+	ef.SetBits(6)
+	if got := ef.Bits(); got != 6 {
+		t.Fatalf("error feedback Bits() = %d after SetBits(6)", got)
+	}
+
+	efTopK := WithErrorFeedback(NewTopK(0.5))
+	efTopK.SetBits(6) // no width to set; must not panic
+	if got := efTopK.Bits(); got != 0 {
+		t.Fatalf("topk+ef Bits() = %d, want 0 (no width)", got)
+	}
+
+	narrowed, err := (Spec{Kind: KindQSGD, Bits: 4, Wire: WireFloat32}).New(rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbs, ok := narrowed.(BitSetter)
+	if !ok {
+		t.Fatalf("narrowed qsgd is not a BitSetter (%T)", narrowed)
+	}
+	nbs.SetBits(6)
+	if got := nbs.Bits(); got != 6 {
+		t.Fatalf("narrowed Bits() = %d after SetBits(6)", got)
+	}
+	msg, err := narrowed.Compress(testVec(32, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Bits != 6 {
+		t.Fatalf("narrowed wire message carries %d bits, want 6", msg.Bits)
+	}
+}

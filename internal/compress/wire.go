@@ -104,3 +104,18 @@ func (w wireNarrow) Ratio() float64 {
 	}
 	return 1
 }
+
+// SetBits implements BitSetter when the inner compressor does.
+func (w wireNarrow) SetBits(b int) {
+	if s, ok := w.inner.(BitSetter); ok {
+		s.SetBits(b)
+	}
+}
+
+// Bits implements BitSetter when the inner compressor does (0 otherwise).
+func (w wireNarrow) Bits() int {
+	if s, ok := w.inner.(BitSetter); ok {
+		return s.Bits()
+	}
+	return 0
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/bound"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/opt"
 	"repro/internal/sgd"
 )
 
@@ -83,6 +84,14 @@ type Config struct {
 	// raise. Off (the zero value), trajectories are bit-identical to the
 	// paper's static rule.
 	LinkAware bool
+	// Momentum is the workers' heavy-ball coefficient, when the engine runs
+	// a momentum rule. The eta-coupled tau rules (19)/(20) are derived under
+	// eta*L ~= 1; with momentum the steady-state step size is the EFFECTIVE
+	// learning rate eta/(1-beta) (the geometric sum of the buffer), so the
+	// coupling compares effective rates. At the zero value the effective
+	// rate is eta/1 == eta exactly (IEEE 754), so every existing trajectory
+	// is bit-identical.
+	Momentum float64
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +129,9 @@ func NewAdaComm(cfg Config) *AdaComm {
 	}
 	if cfg.Interval <= 0 {
 		panic("core: AdaComm needs a positive interval T0")
+	}
+	if math.IsNaN(cfg.Momentum) || cfg.Momentum < 0 || cfg.Momentum >= 1 {
+		panic("core: AdaComm momentum must be in [0, 1)")
 	}
 	return &AdaComm{cfg: cfg}
 }
@@ -195,9 +207,13 @@ func (a *AdaComm) adapt(info cluster.RoundInfo, evalLoss func() float64) {
 	etaFactor := 1.0
 	switch a.cfg.Coupling {
 	case SqrtCoupling:
-		etaFactor = a.eta0 / lr // under sqrt: tau ~ sqrt(eta0/eta)
+		// Under sqrt: tau ~ sqrt(eta0/eta), with eta the EFFECTIVE rate
+		// under momentum (eta/(1-beta); identical to eta at beta = 0).
+		etaFactor = opt.EffectiveLR(a.eta0, a.cfg.Momentum) /
+			opt.EffectiveLR(lr, a.cfg.Momentum)
 	case FullCoupling:
-		etaFactor = math.Pow(a.eta0/lr, 3)
+		etaFactor = math.Pow(opt.EffectiveLR(a.eta0, a.cfg.Momentum)/
+			opt.EffectiveLR(lr, a.cfg.Momentum), 3)
 	}
 	factor := 1.0
 	if a.cfg.LinkAware {
@@ -269,6 +285,10 @@ type OracleTau struct {
 	Consts   bound.Constants // F1 is overwritten by the live loss
 	Interval float64
 	Schedule sgd.Schedule
+	// Momentum is the workers' heavy-ball coefficient: Theorem 2's tau*
+	// consumes the EFFECTIVE learning rate eta/(1-beta) (exactly eta at the
+	// zero value, so momentum-free runs are bit-identical).
+	Momentum float64
 
 	initialized  bool
 	nextBoundary float64
@@ -287,7 +307,7 @@ func (o *OracleTau) NextRound(info cluster.RoundInfo, evalLoss func() float64) (
 	if !o.initialized || info.Time >= o.nextBoundary {
 		c := o.Consts
 		c.F1 = evalLoss()
-		c.Eta = lr
+		c.Eta = opt.EffectiveLR(lr, o.Momentum)
 		if c.F1 < c.Finf {
 			c.F1 = c.Finf
 		}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/compress"
 )
 
 // CompressSchedule parameterizes the compression half of the joint
@@ -28,6 +29,19 @@ type CompressSchedule struct {
 	// interval divides the compression aggressiveness by Gamma. Defaults to
 	// the tau rule's Gamma.
 	Gamma float64
+	// NormBits drives a QSGD quantizer's bit-width directly from the
+	// observed gradient-norm decay (compress.NormDecayBits — the same
+	// helper AdaSync's norm rule uses) instead of the coarse ratio→bits
+	// rounding: one extra bit per halving of worker 0's mini-batch gradient
+	// norm relative to the first observed round, clamped to [1, 8]. The
+	// keep-ratio rule still runs (it drives sparsifiers and reporting); the
+	// width rule overrides only compressors that accept an exact width. Off
+	// (the zero value) nothing touches the width — bit for bit the legacy
+	// controller.
+	NormBits bool
+	// Bits0 is the norm rule's reference width (default 4). Ignored without
+	// NormBits.
+	Bits0 int
 }
 
 func (cs CompressSchedule) withDefaults(tauGamma float64) CompressSchedule {
@@ -36,6 +50,9 @@ func (cs CompressSchedule) withDefaults(tauGamma float64) CompressSchedule {
 	}
 	if cs.Gamma <= 0 || cs.Gamma >= 1 {
 		cs.Gamma = tauGamma
+	}
+	if cs.Bits0 == 0 {
+		cs.Bits0 = 4
 	}
 	return cs
 }
@@ -55,6 +72,9 @@ type AdaCommCompress struct {
 	f0           float64
 	ratio        float64
 	nextBoundary float64
+
+	norm0   float64 // first observed gradient norm (NormBits reference)
+	curBits int     // current norm-rule width (0 until a norm is observed)
 }
 
 // NewAdaCommCompress builds the joint controller from the AdaComm config
@@ -77,6 +97,16 @@ func (a *AdaCommCompress) Tau() int { return a.ada.Tau() }
 // CompressionRatio implements cluster.RatioController.
 func (a *AdaCommCompress) CompressionRatio() float64 { return a.ratio }
 
+// QuantBits implements cluster.BitsController: the norm-decay width when
+// CompressSchedule.NormBits is on and a gradient norm has been observed,
+// else 0 (leave the width to the ratio mapping).
+func (a *AdaCommCompress) QuantBits() int {
+	if !a.cs.NormBits {
+		return 0
+	}
+	return a.curBits
+}
+
 // NextRound implements cluster.Controller: tau and the learning rate come
 // from the embedded AdaComm; the ratio is re-chosen at the same interval
 // boundaries, reusing the boundary's loss evaluation.
@@ -89,6 +119,12 @@ func (a *AdaCommCompress) NextRound(info cluster.RoundInfo, evalLoss func() floa
 		return cached
 	}
 	tau, lr := a.ada.NextRound(info, memo)
+	if a.cs.NormBits && info.GradNorm > 0 {
+		if a.norm0 == 0 {
+			a.norm0 = info.GradNorm
+		}
+		a.curBits = compress.NormDecayBits(a.cs.Bits0, a.norm0, info.GradNorm)
+	}
 	if !a.initialized {
 		a.f0 = memo()
 		if a.f0 <= 0 {

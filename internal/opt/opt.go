@@ -1,0 +1,453 @@
+// Package opt is the first-class optimizer layer: the per-worker local
+// update rule (plain SGD, heavy-ball and Nesterov momentum, Local
+// Adam/AdamW) factored out of the engines behind one interface, plus the
+// slow/global momentum applied at sync points (global.go). Every rule owns
+// its state as enumerable named vectors with an explicit sync policy, so
+// the engines can reset, average, or ship that state over the wire without
+// knowing which rule is running: heavy-ball buffers and Adam first moments
+// reset at averaging points (the paper's Sec 5.3.1 discipline), while Adam
+// second moments are an ablation axis — kept local (the Local Adam default)
+// or synced through the averaging wire alongside the parameters
+// (SyncAverage), where they ride the same compression, payload accounting,
+// and float32 narrowing as the model itself.
+//
+// The zero-value Config is plain SGD and reproduces the legacy
+// internal/sgd update arithmetic bit for bit; engines preallocate all
+// state at construction (New takes the dimension) so a warm Step performs
+// zero heap allocations.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Rule selects the local update rule. The zero value is plain SGD.
+type Rule int
+
+const (
+	// RulePlain is vanilla SGD: x -= lr * (g + wd*x).
+	RulePlain Rule = iota
+	// RuleMomentum is heavy-ball momentum (the legacy internal/sgd rule):
+	// buf = mu*buf + g; x -= lr*buf.
+	RuleMomentum
+	// RuleNesterov is Nesterov momentum in the PyTorch formulation:
+	// buf = mu*buf + g; x -= lr*(g + mu*buf).
+	RuleNesterov
+	// RuleAdam is Adam with L2 weight decay folded into the gradient.
+	RuleAdam
+	// RuleAdamW is Adam with decoupled weight decay.
+	RuleAdamW
+)
+
+func (r Rule) String() string {
+	switch r {
+	case RulePlain:
+		return "sgd"
+	case RuleMomentum:
+		return "momentum"
+	case RuleNesterov:
+		return "nesterov"
+	case RuleAdam:
+		return "adam"
+	case RuleAdamW:
+		return "adamw"
+	}
+	return fmt.Sprintf("rule(%d)", int(r))
+}
+
+// Defaults applied by New for the adaptive rules when the field is zero.
+const (
+	DefaultBeta1 = 0.9
+	DefaultBeta2 = 0.999
+	DefaultEps   = 1e-8
+)
+
+// Config describes a local update rule. The zero value is plain SGD with
+// no momentum and no weight decay — the contract every engine's golden
+// traces rely on.
+type Config struct {
+	Rule        Rule
+	LR          float64 // current learning rate (callers apply Schedule)
+	Momentum    float64 // heavy-ball/Nesterov mu, or Adam beta1
+	Beta2       float64 // Adam second-moment decay (0 = 0.999)
+	Eps         float64 // Adam denominator epsilon (0 = 1e-8)
+	WeightDecay float64 // L2 (plain/momentum/adam) or decoupled (adamw)
+
+	// SyncedMoments marks the Adam second moment SyncAverage instead of
+	// SyncKeep: the engines then average v across workers at every sync
+	// point, shipping it over the same (compressed, byte-priced) wire as
+	// the parameters. Only meaningful for RuleAdam/RuleAdamW.
+	SyncedMoments bool
+}
+
+// Validate rejects configurations New would mis-handle.
+func (c Config) Validate() error {
+	switch c.Rule {
+	case RulePlain, RuleMomentum, RuleNesterov, RuleAdam, RuleAdamW:
+	default:
+		return fmt.Errorf("opt: unknown rule %d", int(c.Rule))
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("opt: momentum %v outside [0,1)", c.Momentum)
+	}
+	if c.Beta2 < 0 || c.Beta2 >= 1 {
+		return fmt.Errorf("opt: beta2 %v outside [0,1)", c.Beta2)
+	}
+	if c.Eps < 0 {
+		return fmt.Errorf("opt: eps %v negative", c.Eps)
+	}
+	if (c.Rule == RuleMomentum || c.Rule == RuleNesterov) && c.Momentum == 0 {
+		return fmt.Errorf("opt: rule %s requires momentum > 0", c.Rule)
+	}
+	if c.SyncedMoments && c.Rule != RuleAdam && c.Rule != RuleAdamW {
+		return fmt.Errorf("opt: synced moments require an adam rule, got %s", c.Rule)
+	}
+	return nil
+}
+
+// IsZero reports whether the config is the plain-SGD zero value (ignoring
+// LR, which every engine drives from its schedule).
+func (c Config) IsZero() bool {
+	z := c
+	z.LR = 0
+	return z == Config{}
+}
+
+// Adaptive reports whether the rule keeps second-moment state.
+func (c Config) Adaptive() bool { return c.Rule == RuleAdam || c.Rule == RuleAdamW }
+
+// String renders the config in the grammar Parse accepts.
+func (c Config) String() string {
+	s := c.Rule.String()
+	switch c.Rule {
+	case RuleMomentum, RuleNesterov:
+		s += ":" + trimFloat(c.Momentum)
+	case RuleAdam, RuleAdamW:
+		if c.Momentum != 0 || c.Beta2 != 0 {
+			s += ":" + trimFloat(c.Momentum)
+			if c.Beta2 != 0 {
+				s += "," + trimFloat(c.Beta2)
+			}
+		}
+		if c.SyncedMoments {
+			s += "+synced"
+		}
+	}
+	return s
+}
+
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Forms enumerates the spec grammar for CLI error messages.
+func Forms() string {
+	return `"sgd", "momentum:MU", "nesterov:MU", "adam", "adam:B1", "adam:B1,B2", "adamw[:B1[,B2]]"; adam forms take an optional "+synced" suffix (synced second moments)`
+}
+
+// Parse parses an optimizer spec. The empty string and "sgd" yield the
+// plain-SGD zero value. See Forms for the grammar.
+func Parse(spec string) (Config, error) {
+	var c Config
+	s := strings.TrimSpace(spec)
+	if strings.HasSuffix(s, "+synced") {
+		c.SyncedMoments = true
+		s = strings.TrimSuffix(s, "+synced")
+	}
+	name, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, arg = s[:i], s[i+1:]
+	}
+	switch name {
+	case "", "sgd":
+		c.Rule = RulePlain
+		if arg != "" {
+			return Config{}, fmt.Errorf("opt: %q takes no argument (valid forms: %s)", name, Forms())
+		}
+	case "momentum", "nesterov":
+		c.Rule = RuleMomentum
+		if name == "nesterov" {
+			c.Rule = RuleNesterov
+		}
+		if arg == "" {
+			return Config{}, fmt.Errorf("opt: %q requires a momentum argument, e.g. %q (valid forms: %s)", name, name+":0.9", Forms())
+		}
+		mu, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("opt: bad momentum %q in %q (valid forms: %s)", arg, spec, Forms())
+		}
+		c.Momentum = mu
+	case "adam", "adamw":
+		c.Rule = RuleAdam
+		if name == "adamw" {
+			c.Rule = RuleAdamW
+		}
+		if arg != "" {
+			parts := strings.Split(arg, ",")
+			if len(parts) > 2 {
+				return Config{}, fmt.Errorf("opt: too many betas in %q (valid forms: %s)", spec, Forms())
+			}
+			b1, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("opt: bad beta1 %q in %q (valid forms: %s)", parts[0], spec, Forms())
+			}
+			c.Momentum = b1
+			if len(parts) == 2 {
+				b2, err := strconv.ParseFloat(parts[1], 64)
+				if err != nil {
+					return Config{}, fmt.Errorf("opt: bad beta2 %q in %q (valid forms: %s)", parts[1], spec, Forms())
+				}
+				c.Beta2 = b2
+			}
+		}
+	default:
+		return Config{}, fmt.Errorf("opt: unknown optimizer %q (valid forms: %s)", spec, Forms())
+	}
+	if c.SyncedMoments && !c.Adaptive() {
+		return Config{}, fmt.Errorf("opt: +synced only applies to adam forms (valid forms: %s)", Forms())
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// SyncPolicy says what an engine does with a state vector at a sync point.
+type SyncPolicy int
+
+const (
+	// SyncReset: zero the vector at every averaging point (heavy-ball
+	// buffers, Adam first moments — paper Sec 5.3.1 discipline).
+	SyncReset SyncPolicy = iota
+	// SyncAverage: average the vector across workers at every sync point,
+	// shipping it through the same wire as the parameters.
+	SyncAverage
+	// SyncKeep: per-worker state the sync leaves untouched (Local Adam's
+	// local second moments).
+	SyncKeep
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncReset:
+		return "reset"
+	case SyncAverage:
+		return "average"
+	case SyncKeep:
+		return "keep"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// State is one named optimizer state vector. Vec aliases the optimizer's
+// arena: engines read and write it in place (e.g. overwriting a
+// SyncAverage vector with the across-worker mean).
+type State struct {
+	Name   string
+	Vec    []float64
+	Policy SyncPolicy
+}
+
+// Optimizer performs in-place updates on a model's flat parameters and
+// exposes its state vectors for the engines to reset, average, or restore.
+type Optimizer interface {
+	// Step applies one update x -= lr * d(g). grad is not modified.
+	Step(params, grad []float64)
+	// SetLR changes the learning rate used by subsequent steps.
+	SetLR(lr float64)
+	// Config returns the (default-filled) configuration.
+	Config() Config
+	// State enumerates the state vectors. The returned slice and the
+	// vectors it aliases are stable across calls.
+	State() []State
+	// SyncReset zeroes every SyncReset-policy vector and the step counter
+	// behind Adam's first-moment bias correction. Called by the engines at
+	// averaging points.
+	SyncReset()
+	// ResetState zeroes all state vectors and counters.
+	ResetState()
+	// Steps returns the total Step count (Adam's second-moment bias
+	// correction clock; survives SyncReset).
+	Steps() int
+	// AlignSteps overwrites the total Step count — rejoin reconciliation
+	// uses it to re-derive a recovered worker's bias-correction clock.
+	AlignSteps(n int)
+}
+
+// optimizer is the single implementation behind New: one struct, with the
+// per-rule branch inside Step, so all rules share arena and sync plumbing.
+type optimizer struct {
+	cfg   Config
+	buf   []float64 // heavy-ball / Nesterov momentum buffer
+	m     []float64 // Adam first moment
+	v     []float64 // Adam second moment
+	state []State
+	tm    int // steps since the last first-moment reset
+	tv    int // total steps (second-moment clock)
+}
+
+// New builds an optimizer for a parameter vector of the given length,
+// preallocating every state arena so Step never allocates. Zero Adam
+// hyperparameters are filled with the package defaults.
+func New(cfg Config, dim int) Optimizer {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	o := &optimizer{cfg: cfg}
+	switch cfg.Rule {
+	case RuleMomentum, RuleNesterov:
+		o.buf = make([]float64, dim)
+		o.state = []State{{Name: "momentum", Vec: o.buf, Policy: SyncReset}}
+	case RuleAdam, RuleAdamW:
+		if o.cfg.Momentum == 0 {
+			o.cfg.Momentum = DefaultBeta1
+		}
+		if o.cfg.Beta2 == 0 {
+			o.cfg.Beta2 = DefaultBeta2
+		}
+		if o.cfg.Eps == 0 {
+			o.cfg.Eps = DefaultEps
+		}
+		o.m = make([]float64, dim)
+		o.v = make([]float64, dim)
+		vPolicy := SyncKeep
+		if cfg.SyncedMoments {
+			vPolicy = SyncAverage
+		}
+		o.state = []State{
+			{Name: "adam.m", Vec: o.m, Policy: SyncReset},
+			{Name: "adam.v", Vec: o.v, Policy: vPolicy},
+		}
+	}
+	return o
+}
+
+func (o *optimizer) Config() Config   { return o.cfg }
+func (o *optimizer) SetLR(lr float64) { o.cfg.LR = lr }
+func (o *optimizer) State() []State   { return o.state }
+func (o *optimizer) Steps() int       { return o.tv }
+func (o *optimizer) AlignSteps(n int) { o.tv = n }
+
+func (o *optimizer) SyncReset() {
+	for _, s := range o.state {
+		if s.Policy != SyncReset {
+			continue
+		}
+		for i := range s.Vec {
+			s.Vec[i] = 0
+		}
+	}
+	o.tm = 0
+}
+
+func (o *optimizer) ResetState() {
+	for _, s := range o.state {
+		for i := range s.Vec {
+			s.Vec[i] = 0
+		}
+	}
+	o.tm, o.tv = 0, 0
+}
+
+func (o *optimizer) Step(params, grad []float64) {
+	if len(params) != len(grad) {
+		panic("opt: params/grad length mismatch")
+	}
+	wd := o.cfg.WeightDecay
+	lr := o.cfg.LR
+	switch o.cfg.Rule {
+	case RulePlain:
+		// Bit-identical to the legacy internal/sgd loop with Momentum=0.
+		for i := range params {
+			g := grad[i] + wd*params[i]
+			params[i] -= lr * g
+		}
+	case RuleMomentum:
+		// Bit-identical to the legacy internal/sgd momentum loop.
+		mu := o.cfg.Momentum
+		for i := range params {
+			g := grad[i] + wd*params[i]
+			o.buf[i] = mu*o.buf[i] + g
+			params[i] -= lr * o.buf[i]
+		}
+	case RuleNesterov:
+		mu := o.cfg.Momentum
+		for i := range params {
+			g := grad[i] + wd*params[i]
+			o.buf[i] = mu*o.buf[i] + g
+			params[i] -= lr * (g + mu*o.buf[i])
+		}
+	case RuleAdam, RuleAdamW:
+		b1, b2, eps := o.cfg.Momentum, o.cfg.Beta2, o.cfg.Eps
+		o.tm++
+		o.tv++
+		bc1 := 1 - math.Pow(b1, float64(o.tm))
+		bc2 := 1 - math.Pow(b2, float64(o.tv))
+		decoupled := o.cfg.Rule == RuleAdamW
+		for i := range params {
+			g := grad[i]
+			if !decoupled {
+				g += wd * params[i]
+			}
+			o.m[i] = b1*o.m[i] + (1-b1)*g
+			o.v[i] = b2*o.v[i] + (1-b2)*g*g
+			vhat := o.v[i] / bc2
+			if vhat < 0 {
+				// Locally v is a sum of squares and can never go negative,
+				// but a SYNCED second moment travels a lossy wire: unbiased
+				// quantization noise can push the averaged estimate slightly
+				// below zero, and sqrt must not turn that into NaN.
+				vhat = 0
+			}
+			step := (o.m[i] / bc1) / (math.Sqrt(vhat) + eps)
+			if decoupled {
+				step += wd * params[i]
+			}
+			params[i] -= lr * step
+		}
+	}
+}
+
+// HasResetState reports whether the optimizer carries any SyncReset-policy
+// state — the engines' gate for the reset-at-averaging discipline
+// (replacing the legacy Momentum != 0 check, to which it is equivalent for
+// the legacy rules).
+func HasResetState(o Optimizer) bool {
+	for _, s := range o.State() {
+		if s.Policy == SyncReset {
+			return true
+		}
+	}
+	return false
+}
+
+// SyncedLen returns the total length of the SyncAverage-policy vectors —
+// the extra wire-visible state the engines append to every averaged
+// payload (0 for everything but synced-moment Adam).
+func SyncedLen(o Optimizer) int {
+	n := 0
+	for _, s := range o.State() {
+		if s.Policy == SyncAverage {
+			n += len(s.Vec)
+		}
+	}
+	return n
+}
+
+// SyncedVecs returns the SyncAverage-policy vectors in State order.
+func SyncedVecs(o Optimizer) [][]float64 {
+	var vs [][]float64
+	for _, s := range o.State() {
+		if s.Policy == SyncAverage {
+			vs = append(vs, s.Vec)
+		}
+	}
+	return vs
+}
+
+// EffectiveLR is the steady-state effective learning rate of a momentum
+// recursion: eta/(1-beta). The AdaComm tau rule's eta coupling uses it to
+// stay correct under momentum; at beta = 0 the division is by exactly 1,
+// so plain-SGD trajectories are bit-identical to the uncoupled form.
+func EffectiveLR(eta, beta float64) float64 { return eta / (1 - beta) }

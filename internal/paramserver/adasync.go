@@ -2,6 +2,8 @@ package paramserver
 
 import (
 	"math"
+
+	"repro/internal/compress"
 )
 
 // AdaSyncConfig parameterizes the adaptive-asynchrony controller.
@@ -24,6 +26,17 @@ type AdaSyncConfig struct {
 	// SlowCutoff is the multiple of the fastest link's transfer time beyond
 	// which a link is considered too slow to wait for (default 3).
 	SlowCutoff float64
+	// NormBits drives the push quantizer's bit-width from the observed
+	// gradient-norm decay (compress.NormDecayBits, the same helper
+	// AdaCommCompress uses): one extra bit per halving of the mean-gradient
+	// norm relative to the first observed update, clamped to [1, 8]. Off
+	// (the zero value) the controller never touches the width — the legacy
+	// behavior, bit for bit.
+	NormBits bool
+	// Bits0 is the reference width the norm rule starts from (default 4 —
+	// room to grow toward 8 as the gradient shrinks). Ignored without
+	// NormBits.
+	Bits0 int
 }
 
 // AdaSync adapts the server's K over wall-clock intervals: the AdaComm
@@ -44,6 +57,9 @@ type AdaSync struct {
 	nextBoundary float64
 	curK         int
 	lastK        int // K actually returned (after the link cap)
+
+	norm0   float64 // first observed mean-gradient norm (NormBits reference)
+	curBits int     // current norm-rule width (0 until a norm is observed)
 }
 
 // NewAdaSync builds the controller.
@@ -59,6 +75,9 @@ func NewAdaSync(cfg AdaSyncConfig) *AdaSync {
 	}
 	if cfg.SlowCutoff <= 1 {
 		cfg.SlowCutoff = 3
+	}
+	if cfg.Bits0 == 0 {
+		cfg.Bits0 = 4
 	}
 	return &AdaSync{cfg: cfg}
 }
@@ -136,8 +155,31 @@ func FastLinkCount(times []float64, m int, cutoff float64) int {
 	return n
 }
 
+// QuantBits implements BitsController: the norm-decay width when NormBits
+// is on and a gradient norm has been observed, else 0 (leave the width
+// alone).
+func (a *AdaSync) QuantBits() int {
+	if !a.cfg.NormBits {
+		return 0
+	}
+	return a.curBits
+}
+
+// trackNorm updates the norm-decay width from the latest observed
+// mean-gradient norm.
+func (a *AdaSync) trackNorm(norm float64) {
+	if !a.cfg.NormBits || norm <= 0 {
+		return
+	}
+	if a.norm0 == 0 {
+		a.norm0 = norm
+	}
+	a.curBits = compress.NormDecayBits(a.cfg.Bits0, a.norm0, norm)
+}
+
 // Next implements Controller.
 func (a *AdaSync) Next(info RoundInfo, evalLoss func() float64) (int, float64) {
+	a.trackNorm(info.GradNorm)
 	if !a.initialized {
 		a.f0 = evalLoss()
 		if a.f0 <= 0 {

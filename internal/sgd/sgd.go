@@ -1,9 +1,10 @@
-// Package sgd provides serial mini-batch SGD building blocks: the plain and
-// momentum update rules used inside each worker of PASGD, learning-rate
+// Package sgd provides serial mini-batch SGD building blocks: learning-rate
 // schedules (constant, step decay, multi-step — the paper decays by 10x at
-// the 80/120/160/200-epoch marks), weight decay, and a stochastic-gradient
-// variance estimator for calibrating the sigma^2 constant that Theorem 1
-// and the tau* formula consume.
+// the 80/120/160/200-epoch marks), the serial training loop, and a
+// stochastic-gradient variance estimator for calibrating the sigma^2
+// constant that Theorem 1 and the tau* formula consume. The update rules
+// themselves (plain SGD, momentum, Nesterov, Local Adam) live in
+// internal/opt; TrainSerial drives any opt.Optimizer.
 package sgd
 
 import (
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/opt"
 	"repro/internal/tensor"
 )
 
@@ -93,64 +95,12 @@ func (c Cosine) String() string {
 	return fmt.Sprintf("cosine(%g->%g over %d)", c.Eta, c.EtaMin, c.Period)
 }
 
-// Config holds the per-worker optimizer settings.
-type Config struct {
-	LR          float64 // current learning rate (callers apply Schedule)
-	Momentum    float64 // local momentum factor (0 = plain SGD)
-	WeightDecay float64 // L2 coefficient added to the gradient
-}
-
-// Optimizer performs in-place SGD updates on a model's flat parameters.
-// The momentum buffer persists across steps until Reset.
-type Optimizer struct {
-	cfg Config
-	buf []float64 // momentum buffer (lazily sized)
-}
-
-// NewOptimizer builds an optimizer with the given configuration.
-func NewOptimizer(cfg Config) *Optimizer { return &Optimizer{cfg: cfg} }
-
-// Config returns the current configuration.
-func (o *Optimizer) Config() Config { return o.cfg }
-
-// SetLR changes the learning rate used by subsequent steps.
-func (o *Optimizer) SetLR(lr float64) { o.cfg.LR = lr }
-
-// ResetMomentum clears the momentum buffer. PASGD with block momentum
-// resets local momentum at every averaging step (paper Sec 5.3.1).
-func (o *Optimizer) ResetMomentum() {
-	for i := range o.buf {
-		o.buf[i] = 0
-	}
-}
-
-// Step applies one SGD update x -= lr * v where v is the (possibly
-// momentum-filtered, weight-decayed) gradient. grad is not modified.
-func (o *Optimizer) Step(params, grad []float64) {
-	if len(params) != len(grad) {
-		panic("sgd: params/grad length mismatch")
-	}
-	if o.buf == nil || len(o.buf) != len(params) {
-		o.buf = make([]float64, len(params))
-	}
-	wd := o.cfg.WeightDecay
-	mu := o.cfg.Momentum
-	lr := o.cfg.LR
-	for i := range params {
-		g := grad[i] + wd*params[i]
-		if mu != 0 {
-			o.buf[i] = mu*o.buf[i] + g
-			g = o.buf[i]
-		}
-		params[i] -= lr * g
-	}
-}
-
-// TrainSerial runs plain serial mini-batch SGD for the given number of
-// steps — the single-node baseline of classical SGD analyses — and returns
-// the average mini-batch loss over the final 10% of steps (a cheap proxy
-// for the terminal training loss that avoids a full-dataset pass).
-func TrainSerial(model *nn.Network, sampler *data.Sampler, opt *Optimizer, steps int) float64 {
+// TrainSerial runs serial mini-batch training with the given update rule
+// for the given number of steps — the single-node baseline of classical
+// SGD analyses — and returns the average mini-batch loss over the final
+// 10% of steps (a cheap proxy for the terminal training loss that avoids
+// a full-dataset pass).
+func TrainSerial(model *nn.Network, sampler *data.Sampler, opt opt.Optimizer, steps int) float64 {
 	grad := make([]float64, model.ParamLen())
 	tailStart := steps - steps/10
 	if tailStart >= steps {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/opt"
 	"repro/internal/rng"
 )
 
@@ -63,64 +64,18 @@ func TestCosine(t *testing.T) {
 	}
 }
 
-func TestOptimizerPlainStep(t *testing.T) {
-	opt := NewOptimizer(Config{LR: 0.5})
-	params := []float64{1, 2}
-	grad := []float64{2, -4}
-	opt.Step(params, grad)
-	if params[0] != 0 || params[1] != 4 {
-		t.Fatalf("plain step wrong: %v", params)
-	}
-}
-
-func TestOptimizerWeightDecay(t *testing.T) {
-	opt := NewOptimizer(Config{LR: 1, WeightDecay: 0.1})
-	params := []float64{10}
-	grad := []float64{0}
-	opt.Step(params, grad)
-	// g = 0 + 0.1*10 = 1; x = 10 - 1 = 9.
-	if math.Abs(params[0]-9) > 1e-12 {
-		t.Fatalf("weight decay step = %v, want 9", params[0])
-	}
-}
-
-func TestOptimizerMomentumAccumulates(t *testing.T) {
-	opt := NewOptimizer(Config{LR: 1, Momentum: 0.9})
-	params := []float64{0}
-	grad := []float64{1}
-	opt.Step(params, grad) // v=1, x=-1
-	opt.Step(params, grad) // v=1.9, x=-2.9
-	if math.Abs(params[0]+2.9) > 1e-12 {
-		t.Fatalf("momentum step = %v, want -2.9", params[0])
-	}
-	opt.ResetMomentum()
-	opt.Step(params, grad) // v=1, x=-3.9
-	if math.Abs(params[0]+3.9) > 1e-12 {
-		t.Fatalf("post-reset step = %v, want -3.9", params[0])
-	}
-}
-
-func TestOptimizerStepPanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on length mismatch")
-		}
-	}()
-	NewOptimizer(Config{LR: 1}).Step([]float64{1}, []float64{1, 2})
-}
-
 func TestSGDConvergesOnConvexProblem(t *testing.T) {
 	ds, wStar, bStar := data.LinearRegressionData(
 		data.LinearRegressionConfig{Dim: 4, N: 2000, Noise: 0.01}, rng.New(1))
 	model := nn.NewLinearRegression(4)
 	model.InitParams(rng.New(2))
 	sampler := data.NewSampler(ds, 32, rng.New(3))
-	opt := NewOptimizer(Config{LR: 0.05})
+	o := opt.New(opt.Config{LR: 0.05}, model.ParamLen())
 	grad := make([]float64, model.ParamLen())
 	for s := 0; s < 3000; s++ {
 		b := sampler.Next()
 		model.LossGrad(b, grad)
-		opt.Step(model.Params(), grad)
+		o.Step(model.Params(), grad)
 	}
 	// Recovered weights must approximate the ground truth. Dense stores W
 	// (1 x dim) then bias.
@@ -147,12 +102,16 @@ func TestMomentumFasterThanPlainOnQuadratic(t *testing.T) {
 	run := func(mu float64) float64 {
 		model := nn.NewLinearRegression(6)
 		model.InitParams(rng.New(5))
-		opt := NewOptimizer(Config{LR: 0.01, Momentum: mu})
+		cfg := opt.Config{LR: 0.01}
+		if mu != 0 {
+			cfg = opt.Config{Rule: opt.RuleMomentum, LR: 0.01, Momentum: mu}
+		}
+		o := opt.New(cfg, model.ParamLen())
 		b := data.FullBatch(ds)
 		grad := make([]float64, model.ParamLen())
 		for s := 0; s < 150; s++ {
 			model.LossGrad(b, grad)
-			opt.Step(model.Params(), grad)
+			o.Step(model.Params(), grad)
 		}
 		return model.Loss(b)
 	}
@@ -170,8 +129,8 @@ func TestTrainSerial(t *testing.T) {
 	model.InitParams(rng.New(21))
 	initial := model.Loss(data.FullBatch(ds))
 	sampler := data.NewSampler(ds, 16, rng.New(22))
-	opt := NewOptimizer(Config{LR: 0.2})
-	tail := TrainSerial(model, sampler, opt, 500)
+	o := opt.New(opt.Config{LR: 0.2}, model.ParamLen())
+	tail := TrainSerial(model, sampler, o, 500)
 	if math.IsNaN(tail) || tail >= initial/2 {
 		t.Fatalf("TrainSerial tail loss %v not well below initial %v", tail, initial)
 	}
